@@ -1,0 +1,223 @@
+package rumor_test
+
+// Benchmark harness: one benchmark per experiment in EXPERIMENTS.md (the
+// paper's Fig. 1 families, the theorem-level claims, and the extension
+// studies), plus engine micro-benchmarks.
+//
+// The experiment benchmarks execute the same code path that regenerates the
+// EXPERIMENTS.md tables, at reduced scale so `go test -bench=.` stays
+// laptop-friendly; run `go run ./cmd/experiments` for the full-scale sweep.
+// Each reports broadcast rounds as custom metrics alongside ns/op.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"rumor"
+)
+
+// benchExperiment runs one registered experiment at small scale per
+// iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := rumor.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := spec.Run(rumor.ExperimentConfig{
+			Seed:   uint64(i + 1),
+			Scale:  rumor.ScaleSmall,
+			Trials: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1Fig1aStar(b *testing.B)        { benchExperiment(b, "fig1a-star") }
+func BenchmarkE2Fig1bDoubleStar(b *testing.B)  { benchExperiment(b, "fig1b-doublestar") }
+func BenchmarkE3Fig1cHeavyTree(b *testing.B)   { benchExperiment(b, "fig1c-heavytree") }
+func BenchmarkE4Fig1dSiameseTree(b *testing.B) { benchExperiment(b, "fig1d-siamese") }
+func BenchmarkE5Fig1eCycleStars(b *testing.B)  { benchExperiment(b, "fig1e-cyclestars") }
+func BenchmarkE6Thm1Regular(b *testing.B)      { benchExperiment(b, "thm1-regular") }
+func BenchmarkE7Thm23MeetVsVisit(b *testing.B) { benchExperiment(b, "thm23-meetx") }
+func BenchmarkE8LogLowerBounds(b *testing.B)   { benchExperiment(b, "lb-log") }
+func BenchmarkE9Fairness(b *testing.B)         { benchExperiment(b, "fairness") }
+func BenchmarkE10Hybrid(b *testing.B)          { benchExperiment(b, "hybrid") }
+func BenchmarkE11MultiRumor(b *testing.B)      { benchExperiment(b, "multirumor") }
+func BenchmarkE12Async(b *testing.B)           { benchExperiment(b, "async") }
+func BenchmarkE13MeetingBound(b *testing.B)    { benchExperiment(b, "meeting-bound") }
+func BenchmarkE14Social(b *testing.B)          { benchExperiment(b, "social") }
+func BenchmarkE15Ablations(b *testing.B)       { benchExperiment(b, "ablations") }
+
+// --- protocol engine micro-benchmarks -------------------------------------
+
+// benchProtocolRun measures one full broadcast per iteration and reports
+// the mean rounds as a custom metric.
+func benchProtocolRun(b *testing.B, mk func(g *rumor.Graph, rng *rumor.RNG) (rumor.Process, error), g *rumor.Graph) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalRounds := 0
+	for i := 0; i < b.N; i++ {
+		p, err := mk(g, rumor.NewRNG(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := rumor.Run(g, p, 0)
+		if !res.Completed {
+			b.Fatal("incomplete run")
+		}
+		totalRounds += res.Rounds
+	}
+	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds/broadcast")
+}
+
+func BenchmarkProtocolPushHypercube(b *testing.B) {
+	g := rumor.Hypercube(10)
+	benchProtocolRun(b, func(g *rumor.Graph, rng *rumor.RNG) (rumor.Process, error) {
+		return rumor.NewPush(g, 0, rng, rumor.PushOptions{})
+	}, g)
+}
+
+func BenchmarkProtocolPushPullHypercube(b *testing.B) {
+	g := rumor.Hypercube(10)
+	benchProtocolRun(b, func(g *rumor.Graph, rng *rumor.RNG) (rumor.Process, error) {
+		return rumor.NewPushPull(g, 0, rng, rumor.PushPullOptions{})
+	}, g)
+}
+
+func BenchmarkProtocolVisitExchangeHypercube(b *testing.B) {
+	g := rumor.Hypercube(10)
+	benchProtocolRun(b, func(g *rumor.Graph, rng *rumor.RNG) (rumor.Process, error) {
+		return rumor.NewVisitExchange(g, 0, rng, rumor.AgentOptions{})
+	}, g)
+}
+
+func BenchmarkProtocolMeetExchangeHypercube(b *testing.B) {
+	g := rumor.Hypercube(10)
+	benchProtocolRun(b, func(g *rumor.Graph, rng *rumor.RNG) (rumor.Process, error) {
+		return rumor.NewMeetExchange(g, 0, rng, rumor.AgentOptions{})
+	}, g)
+}
+
+func BenchmarkProtocolHybridHypercube(b *testing.B) {
+	g := rumor.Hypercube(10)
+	benchProtocolRun(b, func(g *rumor.Graph, rng *rumor.RNG) (rumor.Process, error) {
+		return rumor.NewHybrid(g, 0, rng, rumor.AgentOptions{})
+	}, g)
+}
+
+// BenchmarkVisitExchangeAgentStepThroughput measures raw agent-step cost:
+// agent-steps per second on a large regular graph.
+func BenchmarkVisitExchangeAgentStepThroughput(b *testing.B) {
+	g := rumor.Hypercube(14) // n = 16384
+	p, err := rumor.NewVisitExchange(g, 0, rumor.NewRNG(1), rumor.AgentOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+	b.ReportMetric(float64(g.N()), "agent-steps/op")
+}
+
+// BenchmarkCoupledRun measures the Section 5 coupled execution (both
+// processes plus C-counter maintenance).
+func BenchmarkCoupledRun(b *testing.B) {
+	g := rumor.Hypercube(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := rumor.RunCoupled(g, 0, rumor.NewRNG(uint64(i+1)), rumor.CouplingConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.VerifyLemma13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedPushPull measures the goroutine-per-node runtime
+// (barrier synchronization dominates).
+func BenchmarkDistributedPushPull(b *testing.B) {
+	g := rumor.Hypercube(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := rumor.RunDistributed(g, 0, rumor.DistConfig{
+			Protocol: rumor.DistPushPull,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// --- graph generator benchmarks -------------------------------------------
+
+func BenchmarkGenerateRandomRegular(b *testing.B) {
+	for _, size := range []int{1024, 4096} {
+		b.Run(strconv.Itoa(size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := rumor.RandomRegular(size, 16, rumor.NewRNG(uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.N() != size {
+					b.Fatal("bad graph")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGenerateHeavyTree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := rumor.HeavyBinaryTree(11) // n = 2047, leaf clique ~ 2^20/2 edges
+		if g.N() != 2047 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+// BenchmarkStationaryPlacement measures agent placement cost in isolation
+// (binary search over the CSR offsets per agent).
+func BenchmarkStationaryPlacement(b *testing.B) {
+	g := rumor.Hypercube(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := rumor.NewVisitExchange(g, 0, rumor.NewRNG(uint64(i+1)), rumor.AgentOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+	}
+}
+
+// Example of scaling behavior: push broadcast across graph sizes, reported
+// as rounds so the log n growth is visible in benchmark output.
+func BenchmarkPushCompleteGraphScaling(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := rumor.Complete(n)
+			benchProtocolRun(b, func(g *rumor.Graph, rng *rumor.RNG) (rumor.Process, error) {
+				return rumor.NewPush(g, 0, rng, rumor.PushOptions{})
+			}, g)
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"fig1a-star", "thm1-regular", "ablations", "multirumor", "async"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestSingleExperimentSmall(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "thm1-regular", "-scale", "small", "-trials", "2", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "### thm1-regular") || !strings.Contains(s, "ratio band") {
+		t.Errorf("experiment output malformed:\n%s", s)
+	}
+}
+
+func TestWritesFilesAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "out.md")
+	csvDir := filepath.Join(dir, "csv")
+	var out strings.Builder
+	err := run([]string{
+		"-exp", "fairness", "-scale", "small", "-trials", "2",
+		"-out", md, "-csvdir", csvDir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "### fairness") {
+		t.Error("markdown file missing experiment")
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "fairness.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "unknown-exp"},
+		{"-scale", "tiny"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

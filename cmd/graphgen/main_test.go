@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-spec", "doublestar:8", "-stats", "-validate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"validation: ok", "vertices   18", "edges      17", "bipartite  true", "diameter   3", "centerA=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+
+	var out strings.Builder
+	if err := run([]string{"-spec", "ringcliques:3,5", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("no write confirmation:\n%s", out.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-in", path, "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "vertices   15") {
+		t.Errorf("import stats wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "6-regular") {
+		t.Errorf("regularity lost in round trip:\n%s", out.String())
+	}
+}
+
+func TestDefaultPrintsStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-spec", "star:4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "vertices   5") {
+		t.Errorf("default run did not print stats:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // neither -spec nor -in
+		{"-spec", "x:1"},                     // unknown family
+		{"-in", "/nonexistent/p"},            // missing file
+		{"-spec", "star:4", "-in", "/tmp/x"}, // mutually exclusive
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

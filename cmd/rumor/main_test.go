@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-graph", "star:32", "-protocol", "visitx", "-trials", "3", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"star(32)", "visitx", "completed  3/3", "rounds", "messages"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []string{"push", "push-pull", "visitx", "meetx", "hybrid"} {
+		var out strings.Builder
+		err := run([]string{"-graph", "complete:16", "-protocol", p, "-trials", "2"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !strings.Contains(out.String(), "completed  2/2") {
+			t.Errorf("%s: incomplete trials:\n%s", p, out.String())
+		}
+	}
+}
+
+func TestRunHistoryFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-graph", "complete:8", "-protocol", "push", "-trials", "1", "-history"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "history (trial 0): 1 ") {
+		t.Errorf("history line missing:\n%s", out.String())
+	}
+}
+
+func TestRunAgentFlags(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-graph", "hypercube:5", "-protocol", "visitx",
+		"-alpha", "2", "-churn", "0.01", "-lazy", "on", "-trials", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "completed  2/2") {
+		t.Errorf("agent flags broke the run:\n%s", out.String())
+	}
+}
+
+func TestRunCutoffWarning(t *testing.T) {
+	var out strings.Builder
+	// Push on a big cycle cannot finish in 3 rounds.
+	err := run([]string{"-graph", "cycle:64", "-protocol", "push", "-trials", "2", "-maxrounds", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warning: 2 trials hit the round cutoff") {
+		t.Errorf("cutoff warning missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "bogus:1"},
+		{"-graph", "star:8", "-protocol", "nope"},
+		{"-graph", "star:8", "-source", "99"},
+		{"-graph", "star:8", "-lazy", "sometimes"},
+		{"-graph", "star:8", "-trials", "0"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDefaultSourcePrefersLemmaLandmarks(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "doublestar:8", "-protocol", "visitx", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The preference order picks leafA (vertex 2) on the double star.
+	if !strings.Contains(out.String(), "source=2") {
+		t.Errorf("default source not the leafA landmark:\n%s", out.String())
+	}
+}

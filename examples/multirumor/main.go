@@ -1,0 +1,72 @@
+// Multirumor demonstrates the setting that motivates the paper's
+// stationary-start assumption (Section 3): a fleet of agents on perpetual
+// random walks disseminates a stream of rumors, injected over time at
+// different sources. Per-rumor latency matches the single-rumor case and
+// the token traffic does not grow with the number of rumors in flight —
+// agents are unlabeled counters, so the bandwidth is shared for free.
+//
+//	go run ./examples/multirumor
+//	go run ./examples/multirumor -rumors 64 -spacing 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"rumor"
+)
+
+func main() {
+	dim := flag.Int("dim", 9, "hypercube dimension (n = 2^dim)")
+	count := flag.Int("rumors", 32, "number of rumors (1..64)")
+	spacing := flag.Int("spacing", 5, "rounds between injections")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	g := rumor.Hypercube(*dim)
+	fmt.Printf("hypercube(%d): n=%d, |A|=%d agents on perpetual walks\n\n", *dim, g.N(), g.N())
+
+	// Baseline: one rumor alone.
+	single, err := rumor.RunMultiRumor(g, []rumor.Rumor{{Source: 0}}, rumor.NewRNG(*seed), rumor.AgentOptions{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single rumor baseline: %d rounds, %d agent-messages/round\n\n",
+		single.BroadcastRounds[0], single.Messages/int64(single.Rounds))
+
+	// The stream: rumors injected `spacing` rounds apart at scattered
+	// sources.
+	rumors := make([]rumor.Rumor, *count)
+	for i := range rumors {
+		rumors[i] = rumor.Rumor{
+			Source: rumor.Vertex((i * 97) % g.N()),
+			Round:  i * *spacing,
+		}
+	}
+	res, err := rumor.RunMultiRumor(g, rumors, rumor.NewRNG(*seed+1), rumor.AgentOptions{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Completed {
+		log.Fatalf("incomplete after %d rounds", res.Rounds)
+	}
+
+	lat := append([]int(nil), res.BroadcastRounds...)
+	sort.Ints(lat)
+	sum := 0
+	for _, v := range lat {
+		sum += v
+	}
+	fmt.Printf("%d rumors injected every %d rounds:\n", *count, *spacing)
+	fmt.Printf("  per-rumor broadcast rounds: mean %.1f  min %d  median %d  max %d\n",
+		float64(sum)/float64(len(lat)), lat[0], lat[len(lat)/2], lat[len(lat)-1])
+	fmt.Printf("  total simulated rounds:     %d\n", res.Rounds)
+	fmt.Printf("  agent messages per round:   %d (unchanged — rumors share the walks)\n",
+		res.Messages/int64(res.Rounds))
+	fmt.Printf("  vs single-rumor baseline:   %.2fx per-rumor latency\n",
+		float64(sum)/float64(len(lat))/float64(single.BroadcastRounds[0]))
+	fmt.Println("\nAgents need not be labeled: each message is a token count plus payload,")
+	fmt.Println("so a linear number of agents serves an unbounded rumor stream (Section 3).")
+}

@@ -1,0 +1,216 @@
+// Package agents implements the system of independent random walks that
+// drives the paper's visit-exchange and meet-exchange protocols: a
+// collection of |A| = Θ(n) agents, each performing an independent simple
+// (optionally lazy) random walk, starting from the stationary distribution
+// deg(v)/2|E| (Section 3 of the paper).
+//
+// The package also provides epoch-stamped occupancy counters so protocols
+// can track per-round vertex visits in O(|A|) per round without O(n) clears.
+package agents
+
+import (
+	"fmt"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Placement selects how agents are initially positioned.
+type Placement int
+
+const (
+	// PlaceStationary samples each agent's start independently from the
+	// stationary distribution deg(v)/2|E| — the paper's default model.
+	PlaceStationary Placement = iota
+	// PlaceOnePerVertex puts exactly one agent on each vertex (the variant
+	// discussed after Lemma 11; requires Count == n).
+	PlaceOnePerVertex
+	// PlaceFixed uses the caller-provided start vertices.
+	PlaceFixed
+)
+
+// Config configures a walk system. The zero value means "stationary
+// placement, non-lazy walks" and is ready to use once Count is set.
+type Config struct {
+	// Count is the number of agents |A|.
+	Count int
+	// Lazy makes each walk stay put with probability 1/2 each round. The
+	// paper uses lazy walks for meet-exchange on bipartite graphs, where
+	// parity could otherwise keep two walks from ever meeting.
+	Lazy bool
+	// Placement selects the initial distribution.
+	Placement Placement
+	// Fixed holds the start vertices when Placement == PlaceFixed.
+	Fixed []graph.Vertex
+	// ChurnRate is the per-round probability that an agent "dies" and is
+	// replaced by a fresh agent placed from the stationary distribution.
+	// This implements the dynamic-agent variant sketched in the paper's
+	// open problems (Section 9). Zero disables churn.
+	ChurnRate float64
+}
+
+// Walks is a system of independent random walks on a fixed graph.
+type Walks struct {
+	g    *graph.Graph
+	rng  *xrand.RNG
+	pos  []graph.Vertex
+	prev []graph.Vertex
+	cfg  Config
+
+	respawned []int // agents replaced by churn in the latest Step
+	round     int
+}
+
+// ChooseFunc optionally overrides the destination of one agent's step. It
+// receives the agent id and current vertex; returning ok=false falls back
+// to a uniform random neighbor. The coupling machinery of Section 5 uses
+// this hook to share neighbor choices with the push process.
+type ChooseFunc func(agent int, from graph.Vertex) (to graph.Vertex, ok bool)
+
+// New creates a walk system and places the agents.
+func New(g *graph.Graph, cfg Config, rng *xrand.RNG) (*Walks, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("agents: Count must be positive, got %d", cfg.Count)
+	}
+	if g.M() == 0 {
+		return nil, fmt.Errorf("agents: graph has no edges")
+	}
+	if cfg.ChurnRate < 0 || cfg.ChurnRate >= 1 {
+		return nil, fmt.Errorf("agents: ChurnRate must be in [0,1), got %g", cfg.ChurnRate)
+	}
+	w := &Walks{
+		g:    g,
+		rng:  rng,
+		pos:  make([]graph.Vertex, cfg.Count),
+		prev: make([]graph.Vertex, cfg.Count),
+		cfg:  cfg,
+	}
+	switch cfg.Placement {
+	case PlaceStationary:
+		for i := range w.pos {
+			w.pos[i] = w.stationaryVertex()
+		}
+	case PlaceOnePerVertex:
+		if cfg.Count != g.N() {
+			return nil, fmt.Errorf("agents: PlaceOnePerVertex needs Count == N (%d != %d)", cfg.Count, g.N())
+		}
+		for i := range w.pos {
+			w.pos[i] = graph.Vertex(i)
+		}
+	case PlaceFixed:
+		if len(cfg.Fixed) != cfg.Count {
+			return nil, fmt.Errorf("agents: PlaceFixed needs len(Fixed) == Count (%d != %d)", len(cfg.Fixed), cfg.Count)
+		}
+		for i, v := range cfg.Fixed {
+			if v < 0 || int(v) >= g.N() {
+				return nil, fmt.Errorf("agents: fixed position %d out of range", v)
+			}
+			w.pos[i] = v
+		}
+	default:
+		return nil, fmt.Errorf("agents: unknown placement %d", cfg.Placement)
+	}
+	copy(w.prev, w.pos)
+	return w, nil
+}
+
+// N returns the number of agents.
+func (w *Walks) N() int { return len(w.pos) }
+
+// Round returns the number of Step calls so far.
+func (w *Walks) Round() int { return w.round }
+
+// Pos returns the current vertex of agent i.
+func (w *Walks) Pos(i int) graph.Vertex { return w.pos[i] }
+
+// Prev returns the vertex agent i occupied before the latest Step.
+func (w *Walks) Prev(i int) graph.Vertex { return w.prev[i] }
+
+// Respawned returns the ids of agents replaced by churn during the latest
+// Step. The slice is reused between rounds; callers must not retain it.
+func (w *Walks) Respawned() []int { return w.respawned }
+
+// Step advances every walk one synchronous round. Agents are processed in
+// increasing id order, which fixes the paper's "ties broken by agent id"
+// ordering of simultaneous visits. choose, if non-nil, may override
+// individual destinations (see ChooseFunc); laziness and churn are applied
+// only to non-overridden agents.
+func (w *Walks) Step(choose ChooseFunc) {
+	w.round++
+	w.respawned = w.respawned[:0]
+	for i := range w.pos {
+		from := w.pos[i]
+		w.prev[i] = from
+		if choose != nil {
+			if to, ok := choose(i, from); ok {
+				w.pos[i] = to
+				continue
+			}
+		}
+		if w.cfg.ChurnRate > 0 && w.rng.Bernoulli(w.cfg.ChurnRate) {
+			w.pos[i] = w.stationaryVertex()
+			w.respawned = append(w.respawned, i)
+			continue
+		}
+		if w.cfg.Lazy && w.rng.Bernoulli(0.5) {
+			continue // stay put
+		}
+		nb := w.g.Neighbors(from)
+		w.pos[i] = nb[w.rng.IntN(len(nb))]
+	}
+}
+
+// stationaryVertex samples a vertex from the stationary distribution by
+// picking a uniform edge endpoint.
+func (w *Walks) stationaryVertex() graph.Vertex {
+	return w.g.EndpointOwner(w.rng.IntN(w.g.EndpointCount()))
+}
+
+// Occupancy is an epoch-stamped per-vertex counter. Resetting between
+// rounds is O(1): bumping the epoch invalidates all previous counts. The
+// epoch is 64-bit, so it never wraps in practice.
+type Occupancy struct {
+	stamp   []int64
+	count   []int32
+	epoch   int64
+	touched []graph.Vertex
+}
+
+// NewOccupancy returns a counter over n vertices. Vertices start with stamp
+// 0 and the first usable epoch is 1, so all counts begin at zero.
+func NewOccupancy(n int) *Occupancy {
+	return &Occupancy{
+		stamp: make([]int64, n),
+		count: make([]int32, n),
+		epoch: 1,
+	}
+}
+
+// NextRound clears all counts in O(1).
+func (o *Occupancy) NextRound() {
+	o.epoch++
+	o.touched = o.touched[:0]
+}
+
+// Add increments the count of v and returns the new count.
+func (o *Occupancy) Add(v graph.Vertex) int32 {
+	if o.stamp[v] != o.epoch {
+		o.stamp[v] = o.epoch
+		o.count[v] = 0
+		o.touched = append(o.touched, v)
+	}
+	o.count[v]++
+	return o.count[v]
+}
+
+// Count returns the count of v this round.
+func (o *Occupancy) Count(v graph.Vertex) int32 {
+	if o.stamp[v] != o.epoch {
+		return 0
+	}
+	return o.count[v]
+}
+
+// Touched returns the vertices with nonzero counts this round. The slice is
+// reused between rounds; callers must not retain it.
+func (o *Occupancy) Touched() []graph.Vertex { return o.touched }

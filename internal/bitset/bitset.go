@@ -1,0 +1,186 @@
+// Package bitset provides a dense, fixed-capacity bit set used to track
+// informed vertices and informed agents in the simulation engine.
+//
+// The zero value is an empty set of capacity zero; use New to allocate a set
+// with a given capacity. All indices must be in [0, Len()).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set backed by a []uint64.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set holding bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return &Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// Len returns the capacity of the set (number of addressable bits).
+func (s *Set) Len() int { return s.n }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetAll sets every bit in [0, Len()).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trimTail()
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Full reports whether every bit in [0, Len()) is set.
+func (s *Set) Full() bool { return s.Count() == s.n }
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Union sets s to s ∪ o. Both sets must have the same capacity.
+func (s *Set) Union(o *Set) {
+	s.checkSameLen(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s to s ∩ o. Both sets must have the same capacity.
+func (s *Set) Intersect(o *Set) {
+	s.checkSameLen(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// CopyFrom overwrites s with the contents of o. Both sets must have the same
+// capacity.
+func (s *Set) CopyFrom(o *Set) {
+	s.checkSameLen(o)
+	copy(s.words, o.words)
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// NextClear returns the smallest index >= from whose bit is clear, or -1 if
+// every bit in [from, Len()) is set.
+func (s *Set) NextClear(from int) int {
+	if from >= s.n {
+		return -1
+	}
+	if from < 0 {
+		from = 0
+	}
+	wi := from / wordBits
+	// Mask off bits below `from` in the first word by pretending they are set.
+	w := s.words[wi] | ((1 << (uint(from) % wordBits)) - 1)
+	for {
+		inv := ^w
+		if inv != 0 {
+			i := wi*wordBits + bits.TrailingZeros64(inv)
+			if i >= s.n {
+				return -1
+			}
+			return i
+		}
+		wi++
+		if wi >= len(s.words) {
+			return -1
+		}
+		w = s.words[wi]
+	}
+}
+
+// ForEach calls fn for every set bit in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// String renders the set as a compact list of set indices, for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) checkSameLen(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// trimTail clears bits at positions >= n in the last word so Count stays
+// correct after SetAll.
+func (s *Set) trimTail() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % wordBits)) - 1
+	}
+}

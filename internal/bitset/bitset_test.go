@@ -1,0 +1,264 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if s.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, s.Count())
+		}
+		if s.Any() {
+			t.Errorf("New(%d).Any() = true, want false", n)
+		}
+		if n > 0 && s.Full() {
+			t.Errorf("New(%d).Full() = true, want false", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		s.Set(i)
+	}
+	for _, i := range idx {
+		if !s.Test(i) {
+			t.Errorf("Test(%d) = false after Set", i)
+		}
+	}
+	if got := s.Count(); got != len(idx) {
+		t.Errorf("Count() = %d, want %d", got, len(idx))
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("Test(64) = true after Clear")
+	}
+	if got := s.Count(); got != len(idx)-1 {
+		t.Errorf("Count() = %d, want %d", got, len(idx)-1)
+	}
+}
+
+func TestSetAllFull(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Errorf("n=%d: Count after SetAll = %d", n, got)
+		}
+		if !s.Full() {
+			t.Errorf("n=%d: Full() = false after SetAll", n)
+		}
+		s.Reset()
+		if s.Any() {
+			t.Errorf("n=%d: Any() = true after Reset", n)
+		}
+	}
+}
+
+func TestFullZeroCapacity(t *testing.T) {
+	if !New(0).Full() {
+		t.Error("empty set with capacity 0 should be trivially full")
+	}
+}
+
+func TestNextClear(t *testing.T) {
+	s := New(200)
+	s.SetAll()
+	if got := s.NextClear(0); got != -1 {
+		t.Errorf("NextClear on full set = %d, want -1", got)
+	}
+	s.Clear(77)
+	s.Clear(150)
+	if got := s.NextClear(0); got != 77 {
+		t.Errorf("NextClear(0) = %d, want 77", got)
+	}
+	if got := s.NextClear(78); got != 150 {
+		t.Errorf("NextClear(78) = %d, want 150", got)
+	}
+	if got := s.NextClear(151); got != -1 {
+		t.Errorf("NextClear(151) = %d, want -1", got)
+	}
+	if got := s.NextClear(400); got != -1 {
+		t.Errorf("NextClear(400) = %d, want -1", got)
+	}
+	if got := s.NextClear(-5); got != 77 {
+		t.Errorf("NextClear(-5) = %d, want 77", got)
+	}
+}
+
+func TestNextClearEmpty(t *testing.T) {
+	s := New(70)
+	if got := s.NextClear(0); got != 0 {
+		t.Errorf("NextClear(0) on empty = %d, want 0", got)
+	}
+	if got := s.NextClear(69); got != 69 {
+		t.Errorf("NextClear(69) on empty = %d, want 69", got)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(3)
+	a.Set(64)
+	b.Set(64)
+	b.Set(99)
+
+	u := a.Clone()
+	u.Union(b)
+	for _, i := range []int{3, 64, 99} {
+		if !u.Test(i) {
+			t.Errorf("union missing %d", i)
+		}
+	}
+	if u.Count() != 3 {
+		t.Errorf("union Count = %d, want 3", u.Count())
+	}
+
+	x := a.Clone()
+	x.Intersect(b)
+	if x.Count() != 1 || !x.Test(64) {
+		t.Errorf("intersect = %v, want {64}", x)
+	}
+}
+
+func TestCopyFromClone(t *testing.T) {
+	a := New(77)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Test(6) {
+		t.Error("Clone aliases the original")
+	}
+	d := New(77)
+	d.CopyFrom(a)
+	if !d.Test(5) || d.Count() != 1 {
+		t.Errorf("CopyFrom result = %v", d)
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched capacity did not panic")
+		}
+	}()
+	New(10).Union(New(11))
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(300)
+	want := []int{0, 1, 64, 128, 255, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ForEach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(1)
+	s.Set(9)
+	if got := s.String(); got != "{1,9}" {
+		t.Errorf("String() = %q, want {1,9}", got)
+	}
+	if got := New(3).String(); got != "{}" {
+		t.Errorf("empty String() = %q, want {}", got)
+	}
+}
+
+// TestQuickAgainstMap cross-checks the bitset against a map-based reference
+// implementation under a random operation sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed uint64, opsRaw []byte) bool {
+		const n = 257
+		rng := rand.New(rand.NewPCG(seed, 17))
+		s := New(n)
+		ref := make(map[int]bool)
+		for _, op := range opsRaw {
+			i := rng.IntN(n)
+			switch op % 3 {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			case 2:
+				if s.Test(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) {
+			if !ref[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNextClear verifies NextClear against a linear scan.
+func TestQuickNextClear(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 191
+		rng := rand.New(rand.NewPCG(seed, 3))
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.IntN(2) == 0 {
+				s.Set(i)
+			}
+		}
+		for from := 0; from < n; from++ {
+			want := -1
+			for i := from; i < n; i++ {
+				if !s.Test(i) {
+					want = i
+					break
+				}
+			}
+			if got := s.NextClear(from); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package core implements the paper's four rumor-spreading protocols —
+// push, push-pull, visit-exchange, and meet-exchange — plus the hybrid
+// push-pull+visit-exchange combination suggested in the paper's
+// introduction, all with the exact synchronous-round semantics of Section 3.
+//
+// Each protocol is a Process: Init places the rumor at the source in round
+// zero, Step executes one synchronous round, and Done reports whether the
+// protocol-specific broadcast condition holds (all vertices informed for
+// push, push-pull, visit-exchange, and the hybrid; all agents informed for
+// meet-exchange). Run drives a Process to completion and records the
+// broadcast time.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Process is one protocol instance bound to a graph, source, and RNG.
+// Implementations are single-goroutine; RunMany gives each trial its own
+// Process.
+type Process interface {
+	// Name returns the protocol name ("push", "push-pull", ...).
+	Name() string
+	// Round returns the number of Step calls so far.
+	Round() int
+	// Step executes one synchronous round.
+	Step()
+	// Done reports whether the broadcast condition of this protocol holds.
+	Done() bool
+	// InformedCount returns the number of informed units: vertices for
+	// push/push-pull/visit-exchange/hybrid, agents for meet-exchange.
+	InformedCount() int
+	// Messages returns the cumulative message count: one per neighbor call
+	// for push/push-pull, one per agent step for the agent protocols.
+	Messages() int64
+}
+
+// MoveObserver receives every information-bearing channel use: a neighbor
+// call (push/push-pull) or an agent traversal (agent protocols). The trace
+// package uses it for the bandwidth-fairness accounting of Section 1.
+// Observers add overhead; leave nil in benchmarks.
+type MoveObserver func(round int, from, to graph.Vertex)
+
+// Result records one completed (or cut off) run.
+type Result struct {
+	Protocol  string
+	Graph     string
+	Source    graph.Vertex
+	Rounds    int   // rounds until Done; equals MaxRounds if not Completed
+	Completed bool  // false if the run hit MaxRounds before Done
+	Messages  int64 // cumulative message count
+	// AllAgentsRound is the round when every agent became informed, for
+	// protocols with agents; -1 otherwise or if never reached.
+	AllAgentsRound int
+	// History[t] is InformedCount after round t (History[0] is the count
+	// after round zero initialization).
+	History []int
+}
+
+// DefaultMaxRounds bounds a run when the caller passes maxRounds <= 0. It
+// is generous: n² rounds exceeds every broadcast time in the paper's
+// families by a wide margin at the sizes this repository simulates.
+func DefaultMaxRounds(g *graph.Graph) int {
+	n := g.N()
+	if n < 64 {
+		n = 64
+	}
+	if n > 1<<15 {
+		// Cap the quadratic at a ceiling to keep pathological runs bounded.
+		return 1 << 30
+	}
+	return n * n
+}
+
+// Run drives p until Done or maxRounds (DefaultMaxRounds-bounded when
+// maxRounds <= 0) and returns the outcome.
+func Run(g *graph.Graph, p Process, maxRounds int) Result {
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(g)
+	}
+	res := Result{
+		Protocol:       p.Name(),
+		Graph:          g.Name(),
+		AllAgentsRound: -1,
+	}
+	if ap, ok := p.(agentTracker); ok {
+		if ap.AllAgentsInformed() {
+			res.AllAgentsRound = 0
+		}
+	}
+	res.History = append(res.History, p.InformedCount())
+	for !p.Done() && p.Round() < maxRounds {
+		p.Step()
+		res.History = append(res.History, p.InformedCount())
+		if res.AllAgentsRound < 0 {
+			if ap, ok := p.(agentTracker); ok && ap.AllAgentsInformed() {
+				res.AllAgentsRound = p.Round()
+			}
+		}
+	}
+	res.Rounds = p.Round()
+	res.Completed = p.Done()
+	res.Messages = p.Messages()
+	if sp, ok := p.(sourced); ok {
+		res.Source = sp.Source()
+	}
+	return res
+}
+
+// agentTracker is implemented by agent-based processes.
+type agentTracker interface {
+	AllAgentsInformed() bool
+}
+
+// sourced exposes the source vertex for result reporting.
+type sourced interface {
+	Source() graph.Vertex
+}
+
+// Factory builds one Process for a trial; RunMany derives a distinct seed
+// per trial.
+type Factory func(rng *xrand.RNG) (Process, error)
+
+// RunMany executes `trials` independent runs in parallel, deriving trial
+// seeds from seed, and returns results in trial order.
+func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64) ([]Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
+	}
+	results := make([]Result, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for t := 0; t < trials; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := xrand.New(xrand.Derive(seed, t))
+			p, err := factory(rng)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			results[t] = Run(g, p, maxRounds)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func maxParallel() int {
+	// Bounded parallelism; GOMAXPROCS-sized pools are handled by the
+	// runtime scheduler, so a fixed generous bound is fine here.
+	return 8
+}
+
+// AgentCount converts the paper's agent density α into a concrete |A| =
+// max(1, round(α·n)).
+func AgentCount(n int, alpha float64) int {
+	c := int(math.Round(alpha * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func checkSource(g *graph.Graph, s graph.Vertex) error {
+	if s < 0 || int(s) >= g.N() {
+		return fmt.Errorf("core: source %d out of range [0,%d)", s, g.N())
+	}
+	if g.N() < 2 {
+		return fmt.Errorf("core: graph too small (n=%d)", g.N())
+	}
+	if g.M() == 0 {
+		return fmt.Errorf("core: graph has no edges")
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"rumor/internal/agents"
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Hybrid runs push-pull and visit-exchange simultaneously over a shared
+// informed-vertex set, realizing the paper's suggestion (Section 1) that
+// "agent-based information dissemination, separately or in combination with
+// push-pull, can significantly improve the broadcast time". Each round
+// first performs a push-pull exchange step, then an agent step with
+// visit-exchange semantics; a vertex informed by either mechanism counts.
+//
+// On every Fig. 1 family the hybrid inherits the faster mechanism:
+// logarithmic on the star and double star (agents), and logarithmic on the
+// heavy and Siamese trees (push-pull).
+type Hybrid struct {
+	g     *graph.Graph
+	rng   *xrand.RNG
+	src   graph.Vertex
+	walks *agents.Walks
+	opts  AgentOptions
+
+	informedV *bitset.Set
+	informedA *bitset.Set
+	countV    int
+	pendingV  []graph.Vertex
+	newlyA    []int
+	round     int
+	messages  int64
+}
+
+var _ Process = (*Hybrid)(nil)
+
+// NewHybrid builds a combined push-pull + visit-exchange process.
+func NewHybrid(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts AgentOptions) (*Hybrid, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	w, err := agents.New(g, opts.walkConfig(g, false), rng)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	h := &Hybrid{
+		g:         g,
+		rng:       rng,
+		src:       s,
+		walks:     w,
+		opts:      opts,
+		informedV: bitset.New(g.N()),
+		informedA: bitset.New(w.N()),
+		countV:    1,
+	}
+	h.informedV.Set(int(s))
+	for i := 0; i < w.N(); i++ {
+		if w.Pos(i) == s {
+			h.informedA.Set(i)
+		}
+	}
+	return h, nil
+}
+
+// Name implements Process.
+func (h *Hybrid) Name() string { return "ppull+visitx" }
+
+// Round implements Process.
+func (h *Hybrid) Round() int { return h.round }
+
+// Done implements Process.
+func (h *Hybrid) Done() bool { return h.countV == h.g.N() }
+
+// InformedCount implements Process (vertices).
+func (h *Hybrid) InformedCount() int { return h.countV }
+
+// AllAgentsInformed implements the agentTracker interface.
+func (h *Hybrid) AllAgentsInformed() bool { return h.informedA.Full() }
+
+// Messages implements Process: n neighbor calls + |A| agent steps per round.
+func (h *Hybrid) Messages() int64 { return h.messages }
+
+// Source implements the sourced interface.
+func (h *Hybrid) Source() graph.Vertex { return h.src }
+
+// Step implements Process.
+func (h *Hybrid) Step() {
+	h.round++
+
+	// Phase 1: push-pull exchanges against the pre-round informed set.
+	h.pendingV = h.pendingV[:0]
+	n := h.g.N()
+	for u := 0; u < n; u++ {
+		nb := h.g.Neighbors(graph.Vertex(u))
+		v := nb[h.rng.IntN(len(nb))]
+		h.messages++
+		iu, iv := h.informedV.Test(u), h.informedV.Test(int(v))
+		switch {
+		case iu && !iv:
+			h.pendingV = append(h.pendingV, v)
+		case !iu && iv:
+			h.pendingV = append(h.pendingV, graph.Vertex(u))
+		}
+	}
+
+	// Phase 2: agent moves with visit-exchange semantics. Agents informed
+	// in a previous round inform the vertex they land on this round.
+	h.walks.Step(nil)
+	h.messages += int64(h.walks.N())
+	for _, id := range h.walks.Respawned() {
+		h.informedA.Clear(id)
+	}
+	if h.opts.Observer != nil {
+		for i := 0; i < h.walks.N(); i++ {
+			h.opts.Observer(h.round, h.walks.Prev(i), h.walks.Pos(i))
+		}
+	}
+	na := h.walks.N()
+	for i := 0; i < na; i++ {
+		if h.informedA.Test(i) {
+			h.pendingV = append(h.pendingV, h.walks.Pos(i))
+		}
+	}
+
+	// Commit newly informed vertices from both mechanisms.
+	for _, v := range h.pendingV {
+		if !h.informedV.Test(int(v)) {
+			h.informedV.Set(int(v))
+			h.countV++
+		}
+	}
+
+	// Agents standing on an informed vertex (old or new) become informed.
+	h.newlyA = h.newlyA[:0]
+	for i := 0; i < na; i++ {
+		if !h.informedA.Test(i) && h.informedV.Test(int(h.walks.Pos(i))) {
+			h.newlyA = append(h.newlyA, i)
+		}
+	}
+	for _, i := range h.newlyA {
+		h.informedA.Set(i)
+	}
+}

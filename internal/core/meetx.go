@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"rumor/internal/agents"
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// MeetExchange is the agent-only protocol (Section 3): agents perform
+// independent random walks; in round zero every agent standing on the
+// source becomes informed; if none stands there, the first agent(s) to
+// visit the source in a later round become informed, after which the source
+// goes silent; thereafter the rumor passes only between agents that meet at
+// a vertex, and only from agents informed in a previous round.
+//
+// On bipartite graphs two walks can have permanently disjoint parities, so
+// the paper (and this implementation, with LazyAuto) uses lazy walks there;
+// T_meetx would otherwise be infinite with positive probability.
+type MeetExchange struct {
+	g     *graph.Graph
+	src   graph.Vertex
+	walks *agents.Walks
+	opts  AgentOptions
+
+	informedA    *bitset.Set
+	occInf       *agents.Occupancy // vertices holding >=1 previously-informed agent
+	countA       int
+	newlyA       []int
+	sourceActive bool
+	round        int
+	messages     int64
+}
+
+var _ Process = (*MeetExchange)(nil)
+
+// NewMeetExchange builds a meet-exchange process.
+func NewMeetExchange(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts AgentOptions) (*MeetExchange, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	w, err := agents.New(g, opts.walkConfig(g, true), rng)
+	if err != nil {
+		return nil, fmt.Errorf("meet-exchange: %w", err)
+	}
+	m := &MeetExchange{
+		g:         g,
+		src:       s,
+		walks:     w,
+		opts:      opts,
+		informedA: bitset.New(w.N()),
+		occInf:    agents.NewOccupancy(g.N()),
+	}
+	// Round zero: agents standing on the source are informed; if none, the
+	// source stays active until its first visitor.
+	for i := 0; i < w.N(); i++ {
+		if w.Pos(i) == s {
+			m.informedA.Set(i)
+			m.countA++
+		}
+	}
+	m.sourceActive = m.countA == 0
+	return m, nil
+}
+
+// Name implements Process.
+func (m *MeetExchange) Name() string { return "meet-exchange" }
+
+// Round implements Process.
+func (m *MeetExchange) Round() int { return m.round }
+
+// Done implements Process: broadcast time is when every agent is informed.
+func (m *MeetExchange) Done() bool { return m.countA == m.walks.N() }
+
+// InformedCount implements Process (agents).
+func (m *MeetExchange) InformedCount() int { return m.countA }
+
+// AllAgentsInformed implements the agentTracker interface.
+func (m *MeetExchange) AllAgentsInformed() bool { return m.Done() }
+
+// Messages implements Process: one token message per agent step.
+func (m *MeetExchange) Messages() int64 { return m.messages }
+
+// Source implements the sourced interface.
+func (m *MeetExchange) Source() graph.Vertex { return m.src }
+
+// AgentCount returns |A|.
+func (m *MeetExchange) AgentCount() int { return m.walks.N() }
+
+// SourceActive reports whether the source vertex is still waiting for its
+// first visitor.
+func (m *MeetExchange) SourceActive() bool { return m.sourceActive }
+
+// Step implements Process.
+func (m *MeetExchange) Step() {
+	m.round++
+	m.walks.Step(nil)
+	m.messages += int64(m.walks.N())
+	for _, id := range m.walks.Respawned() {
+		if m.informedA.Test(id) {
+			m.informedA.Clear(id)
+			m.countA--
+		}
+	}
+	if m.opts.Observer != nil {
+		for i := 0; i < m.walks.N(); i++ {
+			m.opts.Observer(m.round, m.walks.Prev(i), m.walks.Pos(i))
+		}
+	}
+	na := m.walks.N()
+	// Mark vertices occupied by agents informed in a previous round.
+	m.occInf.NextRound()
+	for i := 0; i < na; i++ {
+		if m.informedA.Test(i) {
+			m.occInf.Add(m.walks.Pos(i))
+		}
+	}
+	// Meetings: uninformed agents co-located with previously informed ones.
+	m.newlyA = m.newlyA[:0]
+	for i := 0; i < na; i++ {
+		if !m.informedA.Test(i) && m.occInf.Count(m.walks.Pos(i)) > 0 {
+			m.newlyA = append(m.newlyA, i)
+		}
+	}
+	// Source rule: while active, every agent visiting s this round becomes
+	// informed (all simultaneous visitors), then the source goes silent.
+	if m.sourceActive {
+		visited := false
+		for i := 0; i < na; i++ {
+			if m.walks.Pos(i) == m.src {
+				visited = true
+				m.newlyA = append(m.newlyA, i)
+			}
+		}
+		if visited {
+			m.sourceActive = false
+		}
+	}
+	// Apply; newlyA may contain duplicates (meeting + source rule), so the
+	// informed check guards the count.
+	for _, i := range m.newlyA {
+		if !m.informedA.Test(i) {
+			m.informedA.Set(i)
+			m.countA++
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// PushOptions configures the push protocol.
+type PushOptions struct {
+	// FailureProb is the probability that a transmission silently fails,
+	// modeling the random link failures of Elsässer & Sauerwald [22] that
+	// the paper's Lemma 4(a) relies on. Zero means reliable links.
+	FailureProb float64
+	// Observer, if non-nil, receives every neighbor call.
+	Observer MoveObserver
+}
+
+// Push is the classic randomized rumor-spreading protocol (Section 3): in
+// every round, every vertex informed in a previous round samples a uniform
+// random neighbor and informs it.
+type Push struct {
+	g        *graph.Graph
+	rng      *xrand.RNG
+	src      graph.Vertex
+	opts     PushOptions
+	informed *bitset.Set
+	frontier []graph.Vertex // all informed vertices; senders each round
+	pending  []graph.Vertex
+	round    int
+	messages int64
+}
+
+var _ Process = (*Push)(nil)
+
+// NewPush builds a push process with the rumor placed on s in round zero.
+func NewPush(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushOptions) (*Push, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	if opts.FailureProb < 0 || opts.FailureProb >= 1 {
+		return nil, errFailureProb(opts.FailureProb)
+	}
+	p := &Push{
+		g:        g,
+		rng:      rng,
+		src:      s,
+		opts:     opts,
+		informed: bitset.New(g.N()),
+	}
+	p.informed.Set(int(s))
+	p.frontier = append(p.frontier, s)
+	return p, nil
+}
+
+// Name implements Process.
+func (p *Push) Name() string { return "push" }
+
+// Round implements Process.
+func (p *Push) Round() int { return p.round }
+
+// Done implements Process.
+func (p *Push) Done() bool { return p.informed.Full() }
+
+// InformedCount implements Process.
+func (p *Push) InformedCount() int { return p.informed.Count() }
+
+// Messages implements Process.
+func (p *Push) Messages() int64 { return p.messages }
+
+// Source implements the sourced interface.
+func (p *Push) Source() graph.Vertex { return p.src }
+
+// Step implements Process. Only vertices informed in a previous round send;
+// vertices informed during this round start sending next round.
+func (p *Push) Step() {
+	p.round++
+	p.pending = p.pending[:0]
+	senders := p.frontier // snapshot: appended to only after the loop
+	for _, u := range senders {
+		nb := p.g.Neighbors(u)
+		v := nb[p.rng.IntN(len(nb))]
+		p.messages++
+		if p.opts.Observer != nil {
+			p.opts.Observer(p.round, u, v)
+		}
+		if p.opts.FailureProb > 0 && p.rng.Bernoulli(p.opts.FailureProb) {
+			continue
+		}
+		if !p.informed.Test(int(v)) {
+			p.informed.Set(int(v))
+			p.pending = append(p.pending, v)
+		}
+	}
+	p.frontier = append(p.frontier, p.pending...)
+}
+
+func errFailureProb(p float64) error {
+	return fmt.Errorf("core: FailureProb must be in [0,1), got %g", p)
+}

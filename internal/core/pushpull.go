@@ -1,0 +1,104 @@
+package core
+
+import (
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// PushPullOptions configures the push-pull protocol.
+type PushPullOptions struct {
+	// FailureProb is the probability that an exchange silently fails.
+	FailureProb float64
+	// Observer, if non-nil, receives every neighbor call.
+	Observer MoveObserver
+}
+
+// PushPull is the bidirectional rumor-spreading protocol of Karp et al.
+// (Section 3): in every round, every vertex (informed or not) samples a
+// uniform random neighbor, and if exactly one endpoint of the call was
+// informed before the round, the other becomes informed.
+type PushPull struct {
+	g        *graph.Graph
+	rng      *xrand.RNG
+	src      graph.Vertex
+	opts     PushPullOptions
+	informed *bitset.Set
+	pending  []graph.Vertex
+	count    int
+	round    int
+	messages int64
+}
+
+var _ Process = (*PushPull)(nil)
+
+// NewPushPull builds a push-pull process with the rumor on s in round zero.
+func NewPushPull(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushPullOptions) (*PushPull, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	if opts.FailureProb < 0 || opts.FailureProb >= 1 {
+		return nil, errFailureProb(opts.FailureProb)
+	}
+	p := &PushPull{
+		g:        g,
+		rng:      rng,
+		src:      s,
+		opts:     opts,
+		informed: bitset.New(g.N()),
+		count:    1,
+	}
+	p.informed.Set(int(s))
+	return p, nil
+}
+
+// Name implements Process.
+func (p *PushPull) Name() string { return "push-pull" }
+
+// Round implements Process.
+func (p *PushPull) Round() int { return p.round }
+
+// Done implements Process.
+func (p *PushPull) Done() bool { return p.count == p.g.N() }
+
+// InformedCount implements Process.
+func (p *PushPull) InformedCount() int { return p.count }
+
+// Messages implements Process.
+func (p *PushPull) Messages() int64 { return p.messages }
+
+// Source implements the sourced interface.
+func (p *PushPull) Source() graph.Vertex { return p.src }
+
+// Step implements Process. Informedness is evaluated against the state
+// before the round: a vertex informed during round t neither pushes nor can
+// be pulled from until round t+1, exactly as Section 3 specifies.
+func (p *PushPull) Step() {
+	p.round++
+	p.pending = p.pending[:0]
+	n := p.g.N()
+	for u := 0; u < n; u++ {
+		nb := p.g.Neighbors(graph.Vertex(u))
+		v := nb[p.rng.IntN(len(nb))]
+		p.messages++
+		if p.opts.Observer != nil {
+			p.opts.Observer(p.round, graph.Vertex(u), v)
+		}
+		if p.opts.FailureProb > 0 && p.rng.Bernoulli(p.opts.FailureProb) {
+			continue
+		}
+		iu, iv := p.informed.Test(u), p.informed.Test(int(v))
+		switch {
+		case iu && !iv:
+			p.pending = append(p.pending, v)
+		case !iu && iv:
+			p.pending = append(p.pending, graph.Vertex(u))
+		}
+	}
+	for _, v := range p.pending {
+		if !p.informed.Test(int(v)) {
+			p.informed.Set(int(v))
+			p.count++
+		}
+	}
+}

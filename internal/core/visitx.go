@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"rumor/internal/agents"
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// LazyMode selects the walk laziness policy for agent protocols.
+type LazyMode int
+
+const (
+	// LazyAuto uses lazy walks exactly when the graph is bipartite — the
+	// paper's convention, which guarantees meet-exchange terminates.
+	LazyAuto LazyMode = iota
+	// LazyOff always uses simple (non-lazy) walks.
+	LazyOff
+	// LazyOn always uses lazy walks (stay put with probability 1/2).
+	LazyOn
+)
+
+// AgentOptions configures the agent system shared by visit-exchange and
+// meet-exchange.
+type AgentOptions struct {
+	// Alpha is the agent density: |A| = max(1, round(Alpha·n)). Ignored if
+	// Count > 0. The paper's default regime is Alpha = Θ(1); this
+	// repository uses Alpha = 1 unless stated otherwise.
+	Alpha float64
+	// Count overrides Alpha with an explicit number of agents.
+	Count int
+	// Lazy selects the laziness policy. Visit-exchange defaults to simple
+	// walks; meet-exchange resolves LazyAuto to lazy on bipartite graphs.
+	Lazy LazyMode
+	// Placement selects the initial agent distribution (stationary by
+	// default, or one agent per vertex, per the remark after Lemma 11).
+	Placement agents.Placement
+	// Fixed holds start vertices for agents.PlaceFixed.
+	Fixed []graph.Vertex
+	// ChurnRate enables the dynamic-agents extension (Section 9): each
+	// round, each agent is replaced by a fresh uninformed agent with this
+	// probability.
+	ChurnRate float64
+	// Observer, if non-nil, receives every agent traversal.
+	Observer MoveObserver
+}
+
+func (o AgentOptions) agentCount(n int) int {
+	if o.Count > 0 {
+		return o.Count
+	}
+	alpha := o.Alpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return AgentCount(n, alpha)
+}
+
+func (o AgentOptions) walkConfig(g *graph.Graph, forceLazyAuto bool) agents.Config {
+	lazy := false
+	switch o.Lazy {
+	case LazyOn:
+		lazy = true
+	case LazyAuto:
+		if forceLazyAuto {
+			lazy = graph.IsBipartite(g)
+		}
+	}
+	return agents.Config{
+		Count:     o.agentCount(g.N()),
+		Lazy:      lazy,
+		Placement: o.Placement,
+		Fixed:     o.Fixed,
+		ChurnRate: o.ChurnRate,
+	}
+}
+
+// VisitExchange is the agent-based protocol where both vertices and agents
+// store the rumor (Section 3): in round zero the source vertex and all
+// agents on it become informed; in each subsequent round all agents take
+// one random-walk step, every agent informed in a previous round informs
+// the vertex it visits, and every agent standing on a vertex informed in a
+// previous or the current round becomes informed.
+type VisitExchange struct {
+	g     *graph.Graph
+	src   graph.Vertex
+	walks *agents.Walks
+	opts  AgentOptions
+
+	informedV  *bitset.Set // vertices
+	informedA  *bitset.Set // agents
+	countV     int
+	newlyA     []int
+	round      int
+	messages   int64
+	allAgentsA bool
+}
+
+var _ Process = (*VisitExchange)(nil)
+
+// NewVisitExchange builds a visit-exchange process. Visit-exchange does not
+// require lazy walks (vertices hold the rumor across parity classes), so
+// LazyAuto resolves to simple walks.
+func NewVisitExchange(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts AgentOptions) (*VisitExchange, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	w, err := agents.New(g, opts.walkConfig(g, false), rng)
+	if err != nil {
+		return nil, fmt.Errorf("visit-exchange: %w", err)
+	}
+	v := &VisitExchange{
+		g:         g,
+		src:       s,
+		walks:     w,
+		opts:      opts,
+		informedV: bitset.New(g.N()),
+		informedA: bitset.New(w.N()),
+		countV:    1,
+	}
+	// Round zero: the source vertex and every agent standing on it.
+	v.informedV.Set(int(s))
+	for i := 0; i < w.N(); i++ {
+		if w.Pos(i) == s {
+			v.informedA.Set(i)
+		}
+	}
+	v.allAgentsA = v.informedA.Full()
+	return v, nil
+}
+
+// Name implements Process.
+func (v *VisitExchange) Name() string { return "visit-exchange" }
+
+// Round implements Process.
+func (v *VisitExchange) Round() int { return v.round }
+
+// Done implements Process. Broadcast time is the round when every vertex is
+// informed (the paper notes all agents are informed by then as well).
+func (v *VisitExchange) Done() bool { return v.countV == v.g.N() }
+
+// InformedCount implements Process (vertices).
+func (v *VisitExchange) InformedCount() int { return v.countV }
+
+// InformedAgents returns the number of informed agents.
+func (v *VisitExchange) InformedAgents() int { return v.informedA.Count() }
+
+// AllAgentsInformed implements the agentTracker interface.
+func (v *VisitExchange) AllAgentsInformed() bool { return v.allAgentsA }
+
+// Messages implements Process: one token message per agent step.
+func (v *VisitExchange) Messages() int64 { return v.messages }
+
+// Source implements the sourced interface.
+func (v *VisitExchange) Source() graph.Vertex { return v.src }
+
+// AgentCount returns |A|.
+func (v *VisitExchange) AgentCount() int { return v.walks.N() }
+
+// Step implements Process.
+func (v *VisitExchange) Step() {
+	v.round++
+	v.walks.Step(nil)
+	v.messages += int64(v.walks.N())
+	// Churned agents are fresh and uninformed.
+	for _, id := range v.walks.Respawned() {
+		v.informedA.Clear(id)
+	}
+	if v.opts.Observer != nil {
+		for i := 0; i < v.walks.N(); i++ {
+			v.opts.Observer(v.round, v.walks.Prev(i), v.walks.Pos(i))
+		}
+	}
+	// Pass 1: agents informed in a previous round inform their vertex.
+	na := v.walks.N()
+	for i := 0; i < na; i++ {
+		if v.informedA.Test(i) {
+			pos := v.walks.Pos(i)
+			if !v.informedV.Test(int(pos)) {
+				v.informedV.Set(int(pos))
+				v.countV++
+			}
+		}
+	}
+	// Pass 2: agents on a vertex informed in a previous or this round
+	// become informed (effective from the next round).
+	v.newlyA = v.newlyA[:0]
+	for i := 0; i < na; i++ {
+		if !v.informedA.Test(i) && v.informedV.Test(int(v.walks.Pos(i))) {
+			v.newlyA = append(v.newlyA, i)
+		}
+	}
+	for _, i := range v.newlyA {
+		v.informedA.Set(i)
+	}
+	v.allAgentsA = v.informedA.Full()
+}

@@ -1,0 +1,174 @@
+package distnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// AgentConfig configures a distributed visit-exchange run.
+type AgentConfig struct {
+	// Agents is |A|; defaults to n when zero.
+	Agents int
+	// Seed drives token placement and every token's private walk stream.
+	Seed uint64
+	// MaxRounds bounds the run; <= 0 means 4·n².
+	MaxRounds int
+}
+
+// token is an agent traveling between node goroutines. The paper remarks
+// that agents are just tokens passed along with messages; here they
+// literally are. Each token carries its own SplitMix64 walk stream, so the
+// simulation outcome is a pure function of the seed no matter how the node
+// goroutines interleave.
+type token struct {
+	id       int32
+	informed bool
+	state    uint64
+}
+
+// next advances the token's private stream and returns a value for
+// destination selection.
+func (tk *token) next() uint64 {
+	tk.state = xrand.SplitMix64(tk.state)
+	return tk.state
+}
+
+// RunVisitExchange executes visit-exchange as a message-passing system: one
+// goroutine per vertex, agents as token messages, barrier-synchronized
+// rounds with the exact Section 3 semantics (tokens informed in previous
+// rounds inform the vertex they arrive at; tokens standing on a vertex
+// informed by this round become informed).
+func RunVisitExchange(g *graph.Graph, src graph.Vertex, cfg AgentConfig) (Result, error) {
+	n := g.N()
+	if src < 0 || int(src) >= n {
+		return Result{}, fmt.Errorf("distnet: source %d out of range", src)
+	}
+	if g.M() == 0 {
+		return Result{}, fmt.Errorf("distnet: graph has no edges")
+	}
+	na := cfg.Agents
+	if na <= 0 {
+		na = n
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4 * n * n
+	}
+
+	// Stationary placement and per-token streams, all derived from the seed.
+	placeRNG := xrand.New(xrand.Derive(cfg.Seed, -1))
+	held := make([][]token, n)
+	for i := 0; i < na; i++ {
+		v := g.EndpointOwner(placeRNG.IntN(g.EndpointCount()))
+		held[v] = append(held[v], token{
+			id:       int32(i),
+			informed: v == src,
+			state:    xrand.Derive(cfg.Seed, i),
+		})
+	}
+
+	informed := make([]atomic.Bool, n)
+	informed[src].Store(true)
+	var informedCount atomic.Int64
+	informedCount.Store(1)
+	var messages atomic.Int64
+	var stop atomic.Bool
+
+	inbox := make([]mailboxT, n)
+	bar := newBarrier(n + 1)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v graph.Vertex) {
+			defer wg.Done()
+			nb := g.Neighbors(v)
+			deg := uint64(len(nb))
+			for {
+				// Phase A: send every held token one walk step along its
+				// own stream. Tokens are kept sorted by id, so the walk of
+				// token i is independent of arrival interleavings.
+				for _, tk := range held[v] {
+					dest := nb[tk.next()%deg]
+					inbox[dest].put(tk)
+					messages.Add(1)
+				}
+				held[v] = held[v][:0]
+				bar.wait()
+
+				// Phase B: receive. First previously-informed tokens inform
+				// the vertex (pass 1), then every token standing on an
+				// informed vertex becomes informed (pass 2).
+				arrivals := inbox[v].drain()
+				sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].id < arrivals[j].id })
+				vertexInformed := informed[v].Load()
+				if !vertexInformed {
+					for _, tk := range arrivals {
+						if tk.informed {
+							vertexInformed = true
+							informed[v].Store(true)
+							informedCount.Add(1)
+							break
+						}
+					}
+				}
+				if vertexInformed {
+					for i := range arrivals {
+						arrivals[i].informed = true
+					}
+				}
+				held[v] = append(held[v], arrivals...)
+				bar.wait()
+
+				// Phase C: coordinator decision boundary.
+				bar.wait()
+				if stop.Load() {
+					return
+				}
+			}
+		}(graph.Vertex(v))
+	}
+
+	res := Result{History: []int{1}}
+	for round := 1; ; round++ {
+		bar.wait() // A: tokens sent
+		bar.wait() // B: states committed
+		count := int(informedCount.Load())
+		res.History = append(res.History, count)
+		res.Rounds = round
+		if count == n || round >= maxRounds {
+			res.Completed = count == n
+			stop.Store(true)
+			bar.wait()
+			break
+		}
+		bar.wait()
+	}
+	wg.Wait()
+	res.Messages = messages.Load()
+	return res, nil
+}
+
+// mailboxT is a mutex-guarded token mailbox.
+type mailboxT struct {
+	mu   sync.Mutex
+	msgs []token
+}
+
+func (m *mailboxT) put(tk token) {
+	m.mu.Lock()
+	m.msgs = append(m.msgs, tk)
+	m.mu.Unlock()
+}
+
+func (m *mailboxT) drain() []token {
+	m.mu.Lock()
+	out := m.msgs
+	m.msgs = nil
+	m.mu.Unlock()
+	return out
+}

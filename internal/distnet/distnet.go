@@ -1,0 +1,221 @@
+// Package distnet runs the rumor-spreading protocols as an actual
+// message-passing distributed system: one goroutine per vertex, mailbox
+// transport between neighbors, and a cyclic barrier that implements the
+// paper's synchronous rounds. It exists to validate the array-based
+// simulator in internal/core against a real concurrent execution, and to
+// measure message complexity in a setting where messages are first-class.
+//
+// Outcomes are deterministic for a fixed seed even though goroutines
+// interleave arbitrarily: every node draws randomness only from its own
+// seeded stream, and message processing is commutative (an OR over
+// informed flags), so the round-by-round informed sets do not depend on
+// scheduling.
+package distnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Protocol selects which rumor-spreading protocol the nodes execute.
+type Protocol string
+
+// Supported protocols.
+const (
+	Push     Protocol = "push"
+	PushPull Protocol = "push-pull"
+)
+
+// Config configures a distributed run.
+type Config struct {
+	// Protocol selects push or push-pull.
+	Protocol Protocol
+	// Seed drives every node's private randomness stream.
+	Seed uint64
+	// MaxRounds bounds the run; <= 0 means 4·n² (generous).
+	MaxRounds int
+}
+
+// Result reports one distributed run.
+type Result struct {
+	Rounds    int
+	Completed bool
+	Messages  int64
+	// History[t] is the number of informed nodes after round t.
+	History []int
+}
+
+// message is what travels between nodes. Informed is the sender's state at
+// the start of the round.
+type message struct {
+	from     graph.Vertex
+	informed bool
+	reply    bool
+}
+
+// barrier is a reusable cyclic barrier for n parties.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties have called wait for the current
+// generation.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// mailbox is a mutex-guarded slice of messages.
+type mailbox struct {
+	mu   sync.Mutex
+	msgs []message
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.msgs = append(m.msgs, msg)
+	m.mu.Unlock()
+}
+
+// drain returns and clears the contents. Only the owner calls drain, and
+// only in a phase where no one writes, but the lock keeps the memory model
+// happy.
+func (m *mailbox) drain() []message {
+	m.mu.Lock()
+	out := m.msgs
+	m.msgs = nil
+	m.mu.Unlock()
+	return out
+}
+
+// Run executes the protocol on g from source src with one goroutine per
+// vertex and returns when every node goroutine has exited.
+func Run(g *graph.Graph, src graph.Vertex, cfg Config) (Result, error) {
+	n := g.N()
+	if src < 0 || int(src) >= n {
+		return Result{}, fmt.Errorf("distnet: source %d out of range", src)
+	}
+	if g.M() == 0 {
+		return Result{}, fmt.Errorf("distnet: graph has no edges")
+	}
+	switch cfg.Protocol {
+	case Push, PushPull:
+	default:
+		return Result{}, fmt.Errorf("distnet: unknown protocol %q", cfg.Protocol)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4 * n * n
+	}
+
+	calls := make([]mailbox, n)
+	replies := make([]mailbox, n)
+	informed := make([]atomic.Bool, n)
+	informed[src].Store(true)
+	var informedCount atomic.Int64
+	informedCount.Store(1)
+	var messages atomic.Int64
+	var stop atomic.Bool
+
+	// Parties: n nodes + 1 coordinator. Each round has three phase
+	// boundaries; all parties hit every barrier.
+	bar := newBarrier(n + 1)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v graph.Vertex) {
+			defer wg.Done()
+			rng := xrand.New(xrand.Derive(cfg.Seed, int(v)))
+			nb := g.Neighbors(v)
+			for {
+				// Phase A: place a call to one random neighbor. Every node
+				// calls under push-pull; only informed nodes call under push.
+				wasInformed := informed[v].Load()
+				if cfg.Protocol == PushPull || wasInformed {
+					target := nb[rng.IntN(len(nb))]
+					calls[target].put(message{from: v, informed: wasInformed})
+					messages.Add(1)
+				}
+				bar.wait()
+
+				// Phase B: process incoming calls; under push-pull reply
+				// with own (pre-round) state so callers can pull.
+				learned := false
+				for _, msg := range calls[v].drain() {
+					if msg.informed {
+						learned = true
+					}
+					if cfg.Protocol == PushPull {
+						replies[msg.from].put(message{from: v, informed: wasInformed, reply: true})
+						messages.Add(1)
+					}
+				}
+				bar.wait()
+
+				// Phase C: process replies (pull direction), then commit.
+				for _, msg := range replies[v].drain() {
+					if msg.informed {
+						learned = true
+					}
+				}
+				if learned && !wasInformed {
+					informed[v].Store(true)
+					informedCount.Add(1)
+				}
+				bar.wait()
+
+				// Phase D boundary: coordinator has decided by now.
+				bar.wait()
+				if stop.Load() {
+					return
+				}
+			}
+		}(graph.Vertex(v))
+	}
+
+	res := Result{History: []int{1}}
+	for round := 1; ; round++ {
+		bar.wait() // A: calls placed
+		bar.wait() // B: calls processed, replies placed
+		bar.wait() // C: states committed
+		count := int(informedCount.Load())
+		res.History = append(res.History, count)
+		res.Rounds = round
+		if count == n || round >= maxRounds {
+			res.Completed = count == n
+			stop.Store(true)
+			bar.wait() // D: release nodes to observe stop
+			break
+		}
+		bar.wait() // D: next round
+	}
+	wg.Wait()
+	res.Messages = messages.Load()
+	return res, nil
+}

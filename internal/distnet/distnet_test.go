@@ -1,0 +1,183 @@
+package distnet
+
+import (
+	"math"
+	"testing"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+func TestRunValidation(t *testing.T) {
+	g := graph.Complete(8)
+	if _, err := Run(g, 99, Config{Protocol: Push}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := Run(g, 0, Config{Protocol: "bogus"}); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}
+
+func TestPushCompletesOnFamilies(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Complete(16),
+		graph.Cycle(12),
+		graph.Star(15),
+		graph.Hypercube(5),
+		graph.Grid2D(4, 4),
+	}
+	for _, g := range gs {
+		res, err := Run(g, 0, Config{Protocol: Push, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !res.Completed {
+			t.Errorf("%s: push incomplete after %d rounds", g.Name(), res.Rounds)
+		}
+		if res.History[len(res.History)-1] != g.N() {
+			t.Errorf("%s: final informed %d != n", g.Name(), res.History[len(res.History)-1])
+		}
+	}
+}
+
+func TestPushPullCompletesOnFamilies(t *testing.T) {
+	gs := []*graph.Graph{
+		graph.Complete(16),
+		graph.DoubleStar(8),
+		graph.Hypercube(5),
+	}
+	for _, g := range gs {
+		res, err := Run(g, 0, Config{Protocol: PushPull, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !res.Completed {
+			t.Errorf("%s: push-pull incomplete after %d rounds", g.Name(), res.Rounds)
+		}
+	}
+}
+
+// TestDeterministicDespiteScheduling: the outcome must not depend on
+// goroutine interleaving — run the same seed several times and demand
+// identical histories.
+func TestDeterministicDespiteScheduling(t *testing.T) {
+	g := graph.Hypercube(6)
+	var first Result
+	for i := 0; i < 5; i++ {
+		res, err := Run(g, 0, Config{Protocol: PushPull, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if res.Rounds != first.Rounds || res.Messages != first.Messages {
+			t.Fatalf("run %d: rounds/messages (%d,%d) != first (%d,%d)",
+				i, res.Rounds, res.Messages, first.Rounds, first.Messages)
+		}
+		for r := range first.History {
+			if res.History[r] != first.History[r] {
+				t.Fatalf("run %d: history diverges at round %d", i, r)
+			}
+		}
+	}
+}
+
+func TestMaxRoundsCutoff(t *testing.T) {
+	// Push on a long cycle cannot finish in 3 rounds.
+	g := graph.Cycle(64)
+	res, err := Run(g, 0, Config{Protocol: Push, Seed: 3, MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.Rounds != 3 {
+		t.Errorf("cutoff failed: completed=%v rounds=%d", res.Completed, res.Rounds)
+	}
+}
+
+// TestMessageComplexity: push-pull sends exactly one call per node per
+// round plus one reply per received call, so messages per round must lie in
+// [n, 2n].
+func TestMessageComplexity(t *testing.T) {
+	g := graph.Complete(24)
+	res, err := Run(g, 0, Config{Protocol: PushPull, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(g.N())
+	perRound := res.Messages / int64(res.Rounds)
+	if perRound < n || perRound > 2*n {
+		t.Errorf("push-pull messages/round = %d, want in [%d, %d]", perRound, n, 2*n)
+	}
+}
+
+// TestHistoryMonotone: informed counts never decrease.
+func TestHistoryMonotone(t *testing.T) {
+	g := graph.Grid2D(6, 6)
+	res, err := Run(g, 0, Config{Protocol: PushPull, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("history decreases at %d", i)
+		}
+	}
+}
+
+// TestAgreesWithSimulatorOnCompleteGraph: the distributed runtime and the
+// array simulator implement the same protocol, so their mean broadcast
+// times on K_n must agree within statistical tolerance.
+func TestAgreesWithSimulatorOnCompleteGraph(t *testing.T) {
+	g := graph.Complete(64)
+	const trials = 20
+
+	distMean := 0.0
+	for i := 0; i < trials; i++ {
+		res, err := Run(g, 0, Config{Protocol: PushPull, Seed: uint64(1000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("incomplete")
+		}
+		distMean += float64(res.Rounds)
+	}
+	distMean /= trials
+
+	simResults, err := core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
+		return core.NewPushPull(g, 0, rng, core.PushPullOptions{})
+	}, trials, 0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMean := 0.0
+	for _, r := range simResults {
+		simMean += float64(r.Rounds)
+	}
+	simMean /= trials
+
+	if math.Abs(distMean-simMean) > 0.5*simMean+2 {
+		t.Errorf("distributed mean %.2f vs simulator mean %.2f: implementations disagree", distMean, simMean)
+	}
+}
+
+// TestPushSnapshotSemanticsDistributed: on the path 0-1-2, vertex 2 cannot
+// be informed in round 1 (vertex 1 is informed only during round 1).
+func TestPushSnapshotSemanticsDistributed(t *testing.T) {
+	g := graph.Path(3)
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := Run(g, 0, Config{Protocol: Push, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.History[1] != 2 {
+			t.Fatalf("seed %d: informed after round 1 = %d, want 2", seed, res.History[1])
+		}
+		if res.Rounds < 2 {
+			t.Fatalf("seed %d: completed in %d rounds on P3", seed, res.Rounds)
+		}
+	}
+}

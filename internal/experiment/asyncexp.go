@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rumor/internal/async"
+	"rumor/internal/core"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+func init() {
+	register(Spec{
+		ID:       "async",
+		Title:    "Asynchronous vs synchronous rumor spreading on regular graphs",
+		PaperRef: "Section 2 (related work: Sauerwald [41]; Giakkoupis, Nazari & Woelfel [27])",
+		Run:      runAsync,
+	})
+}
+
+// runAsync compares synchronous rounds against asynchronous (unit-rate
+// Poisson clock) time units for push and push-pull across the regular
+// suite. Sauerwald [41] proves asynchronous push matches synchronous push
+// on regular graphs up to constants; the measured sync/async ratio should
+// therefore sit in a narrow constant band across sizes and families.
+func runAsync(cfg Config) (*Table, error) {
+	cases, err := regularSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.trials(10)
+	tab := &Table{
+		ID:       "async",
+		Title:    "Asynchronous vs synchronous rumor spreading on regular graphs",
+		PaperRef: "Section 2 (related work: Sauerwald [41]; Giakkoupis, Nazari & Woelfel [27])",
+		Headers: []string{
+			"graph", "n", "sync push (rounds)", "async push (time)",
+			"ratio", "sync ppull (rounds)", "async ppull (time)", "ratio",
+		},
+	}
+	var pushRatios, ppullRatios []float64
+	for i, c := range cases {
+		syncPush, err := Measure(ProtoPush, c.g, 0, core.AgentOptions{}, trials, cfg.Seed+uint64(4*i))
+		if err != nil {
+			return nil, err
+		}
+		syncPPull, err := Measure(ProtoPPull, c.g, 0, core.AgentOptions{}, trials, cfg.Seed+uint64(4*i+1))
+		if err != nil {
+			return nil, err
+		}
+		asyncPush, err := measureAsync(c, async.Push, trials, xrand.Derive(cfg.Seed, 4*i+2))
+		if err != nil {
+			return nil, err
+		}
+		asyncPPull, err := measureAsync(c, async.PushPull, trials, xrand.Derive(cfg.Seed, 4*i+3))
+		if err != nil {
+			return nil, err
+		}
+		rPush := syncPush.Summary.Mean / asyncPush.Mean
+		rPPull := syncPPull.Summary.Mean / asyncPPull.Mean
+		pushRatios = append(pushRatios, rPush)
+		ppullRatios = append(ppullRatios, rPPull)
+		tab.AddRow(
+			c.name, fmt.Sprintf("%d", c.g.N()),
+			fmtMean(syncPush.Summary), fmt.Sprintf("%.1f ± %.1f", asyncPush.Mean, asyncPush.CI95),
+			fmt.Sprintf("%.2f", rPush),
+			fmtMean(syncPPull.Summary), fmt.Sprintf("%.1f ± %.1f", asyncPPull.Mean, asyncPPull.CI95),
+			fmt.Sprintf("%.2f", rPPull),
+		)
+	}
+	lo, hi := minMax(pushRatios)
+	verdict := "OK"
+	if hi/lo > 4 {
+		verdict = "CHECK (band wider than 4x)"
+	}
+	tab.AddNote("sync/async push ratio band [%.2f, %.2f] — %s (async push ≍ sync push on regular graphs, [41])", lo, hi, verdict)
+	lo, hi = minMax(ppullRatios)
+	tab.AddNote("sync/async push-pull ratio band [%.2f, %.2f] ([27] allows a Θ(1) gap either way)", lo, hi)
+	tab.AddNote("%d trials per point; async time is in unit-rate Poisson clock units (n activations per unit)", trials)
+	return tab, nil
+}
+
+func measureAsync(c regularCase, p async.Protocol, trials int, seed uint64) (stats.Summary, error) {
+	times := make([]float64, trials)
+	for i := range times {
+		res, err := async.Run(c.g, 0, xrand.New(xrand.Derive(seed, i)), async.Config{Protocol: p})
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		if !res.Completed {
+			return stats.Summary{}, fmt.Errorf("experiment: async %s on %s incomplete", p, c.name)
+		}
+		times[i] = res.Time
+	}
+	return stats.Summarize(times), nil
+}

@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/agents"
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+func init() {
+	register(Spec{
+		ID:       "hybrid",
+		Title:    "Hybrid push-pull + visit-exchange: near-best on every Fig. 1 family",
+		PaperRef: "Section 1 (combination suggestion)",
+		Run:      runHybrid,
+	})
+	register(Spec{
+		ID:       "ablations",
+		Title:    "Ablations: agent density, placement, churn, transmission failures",
+		PaperRef: "Section 9 (open problems) and the model assumptions of Section 3",
+		Run:      runAblations,
+	})
+}
+
+// runHybrid measures the combined protocol against all four single
+// protocols on every Fig. 1 family. The paper suggests the combination
+// "can significantly improve the broadcast time"; concretely the hybrid
+// should track the fastest single protocol on each family, while each
+// single protocol is polynomially slow on at least one of them.
+func runHybrid(cfg Config) (*Table, error) {
+	type ga struct {
+		g   *graph.Graph
+		src graph.Vertex
+	}
+	var families []ga
+	if cfg.Scale == ScaleSmall {
+		families = []ga{
+			{graph.Star(128), 1},
+			{graph.DoubleStar(64), 0},
+			{graph.HeavyBinaryTree(6), 31},
+		}
+	} else {
+		ht := graph.HeavyBinaryTree(9)
+		htLeaf := sourceOr(ht, "leaf")
+		st := graph.SiameseHeavyTree(9)
+		stLeaf := sourceOr(st, "leafA")
+		cs := graph.CycleStarsCliques(8)
+		families = []ga{
+			{graph.Star(1024), 1},
+			{graph.DoubleStar(512), 0},
+			{ht, htLeaf},
+			{st, stLeaf},
+			{cs, sourceOr(cs, "cliqueVertex")},
+		}
+	}
+	trials := cfg.trials(8)
+	tab := &Table{
+		ID:       "hybrid",
+		Title:    "Hybrid push-pull + visit-exchange: near-best on every Fig. 1 family",
+		PaperRef: "Section 1 (combination suggestion)",
+		Headers: []string{
+			"graph", "n", "best single protocol", "T_best (rounds)",
+			"T_hybrid (rounds)", "hybrid/best",
+		},
+	}
+	worst := 0.0
+	for i, fam := range families {
+		bestName := ""
+		best := math.Inf(1)
+		for _, p := range []Proto{ProtoPush, ProtoPPull, ProtoVisitX, ProtoMeetX} {
+			m, err := Measure(p, fam.g, fam.src, core.AgentOptions{}, trials, cfg.Seed+uint64(10*i)+uint64(len(p)))
+			if err != nil {
+				return nil, err
+			}
+			if m.Summary.Mean < best {
+				best = m.Summary.Mean
+				bestName = string(p)
+			}
+		}
+		h, err := Measure(ProtoHybrid, fam.g, fam.src, core.AgentOptions{}, trials, cfg.Seed+uint64(10*i+9))
+		if err != nil {
+			return nil, err
+		}
+		ratio := h.Summary.Mean / best
+		if ratio > worst {
+			worst = ratio
+		}
+		tab.AddRow(
+			fam.g.Name(), fmt.Sprintf("%d", fam.g.N()), bestName,
+			fmt.Sprintf("%.1f", best), fmtMean(h.Summary), fmt.Sprintf("%.2f", ratio),
+		)
+	}
+	verdict := "OK (hybrid within a small constant of the per-family best)"
+	if worst > 3 {
+		verdict = "CHECK (hybrid more than 3x slower than the best single protocol somewhere)"
+	}
+	tab.AddNote("worst hybrid/best ratio %.2f — %s", worst, verdict)
+	tab.AddNote("%d trials per point; hybrid runs one push-pull exchange and one agent step per round (2n vs n messages/round)", trials)
+	return tab, nil
+}
+
+// runAblations exercises the model knobs: agent density α (including the
+// sub-linear regime raised as an open problem in Section 9), initial agent
+// placement (stationary vs one-per-vertex, cf. the remark after Lemma 11),
+// agent churn (the dynamic-agents idea of Section 9), and lossy links for
+// push (the robustness property of [22] used in Lemma 4).
+func runAblations(cfg Config) (*Table, error) {
+	trials := cfg.trials(8)
+	tab := &Table{
+		ID:       "ablations",
+		Title:    "Ablations: agent density, placement, churn, transmission failures",
+		PaperRef: "Section 9 (open problems) and the model assumptions of Section 3",
+		Headers:  []string{"study", "setting", "graph", "result"},
+	}
+
+	// (a) Agent density sweep: visit-exchange on the star.
+	starLeaves := 1024
+	alphas := []float64{0.25, 0.5, 1, 2, 4}
+	if cfg.Scale == ScaleSmall {
+		starLeaves = 128
+		alphas = []float64{0.5, 1, 2}
+	}
+	star := graph.Star(starLeaves)
+	var alphaMeans []float64
+	for i, a := range alphas {
+		m, err := Measure(ProtoVisitX, star, 1, core.AgentOptions{Alpha: a}, trials, cfg.Seed+uint64(100+i))
+		if err != nil {
+			return nil, err
+		}
+		alphaMeans = append(alphaMeans, m.Summary.Mean)
+		tab.AddRow("agent density", fmt.Sprintf("α = %.2f (|A| = %d)", a, core.AgentCount(star.N(), a)),
+			star.Name(), fmtMean(m.Summary)+" rounds")
+	}
+	if alphaMeans[0] <= alphaMeans[len(alphaMeans)-1] {
+		tab.AddNote("agent density: CHECK — more agents did not speed up broadcast")
+	} else {
+		tab.AddNote("agent density: OK — broadcast time decreases monotonically-ish in α; sub-linear α stays functional (Section 9 open problem)")
+	}
+
+	// (b) Placement: stationary vs one-per-vertex on a hypercube.
+	dim := 8
+	if cfg.Scale == ScaleSmall {
+		dim = 6
+	}
+	hc := graph.Hypercube(dim)
+	mStat, err := Measure(ProtoVisitX, hc, 0, core.AgentOptions{}, trials, cfg.Seed+200)
+	if err != nil {
+		return nil, err
+	}
+	mOne, err := Measure(ProtoVisitX, hc, 0, core.AgentOptions{
+		Placement: agents.PlaceOnePerVertex, Count: hc.N(),
+	}, trials, cfg.Seed+201)
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("placement", "stationary", hc.Name(), fmtMean(mStat.Summary)+" rounds")
+	tab.AddRow("placement", "one agent per vertex", hc.Name(), fmtMean(mOne.Summary)+" rounds")
+	ratio := mOne.Summary.Mean / mStat.Summary.Mean
+	if ratio > 1.5 || ratio < 0.67 {
+		tab.AddNote("placement: CHECK — one-per-vertex differs from stationary by %.2fx", ratio)
+	} else {
+		tab.AddNote("placement: OK — one-per-vertex matches stationary within %.2fx (remark after Lemma 11)", ratio)
+	}
+
+	// (c) Churn: visit-exchange tolerates agent replacement because the
+	// vertices also hold the rumor; meet-exchange can lose it.
+	kn := 256
+	if cfg.Scale == ScaleSmall {
+		kn = 64
+	}
+	kg := graph.Complete(kn)
+	for i, churn := range []float64{0, 0.02, 0.1} {
+		m, err := Measure(ProtoVisitX, kg, 0, core.AgentOptions{ChurnRate: churn}, trials, cfg.Seed+uint64(300+i))
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow("churn (visitx)", fmt.Sprintf("rate %.2f", churn), kg.Name(), fmtMean(m.Summary)+" rounds")
+	}
+	for i, churn := range []float64{0.02, 0.1} {
+		completed, meanRounds, err := meetxChurnCompletion(kg, churn, trials, xrand.Derive(cfg.Seed, 400+i))
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow("churn (meetx)", fmt.Sprintf("rate %.2f", churn), kg.Name(),
+			fmt.Sprintf("%d/%d completed; mean %.1f rounds among completions", completed, trials, meanRounds))
+	}
+	tab.AddNote("churn: visit-exchange always completes (vertices retain the rumor); meet-exchange may lose it — the robustness gap of Section 9")
+
+	// (d) Push under lossy links.
+	var fails []float64
+	var failMeans []float64
+	for i, fp := range []float64{0, 0.25, 0.5, 0.75} {
+		results, err := core.RunMany(kg, func(rng *xrand.RNG) (core.Process, error) {
+			return core.NewPush(kg, 0, rng, core.PushOptions{FailureProb: fp})
+		}, trials, 0, xrand.Derive(cfg.Seed, 500+i))
+		if err != nil {
+			return nil, err
+		}
+		rounds := make([]float64, len(results))
+		for j, r := range results {
+			rounds[j] = float64(r.Rounds)
+		}
+		s := stats.Summarize(rounds)
+		fails = append(fails, fp)
+		failMeans = append(failMeans, s.Mean)
+		tab.AddRow("push link loss", fmt.Sprintf("failure prob %.2f", fp), kg.Name(), fmtMean(s)+" rounds")
+	}
+	// The broadcast time should scale like 1/(1-f): check the extremes.
+	slowdown := failMeans[len(failMeans)-1] / failMeans[0]
+	expect := 1 / (1 - fails[len(fails)-1])
+	if slowdown < 0.4*expect || slowdown > 3*expect {
+		tab.AddNote("push link loss: CHECK — slowdown %.2fx vs expected ≈ %.2fx", slowdown, expect)
+	} else {
+		tab.AddNote("push link loss: OK — slowdown %.2fx ≈ 1/(1−f) = %.2fx; random failures do not change the asymptotics ([22], used in Lemma 4a)", slowdown, expect)
+	}
+	tab.AddNote("%d trials per row", trials)
+	return tab, nil
+}
+
+// meetxChurnCompletion runs meet-exchange with churn and reports how many
+// trials completed and their mean rounds.
+func meetxChurnCompletion(g *graph.Graph, churn float64, trials int, seed uint64) (completed int, meanRounds float64, err error) {
+	maxRounds := 4000
+	results, err := core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
+		return core.NewMeetExchange(g, 0, rng, core.AgentOptions{ChurnRate: churn})
+	}, trials, maxRounds, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	sum := 0.0
+	for _, r := range results {
+		if r.Completed {
+			completed++
+			sum += float64(r.Rounds)
+		}
+	}
+	if completed > 0 {
+		meanRounds = sum / float64(completed)
+	}
+	return completed, meanRounds, nil
+}

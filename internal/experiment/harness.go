@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+// Scale selects the sweep size. Full is what EXPERIMENTS.md reports; Small
+// keeps unit tests and benchmarks fast while exercising the same code.
+type Scale int
+
+const (
+	// ScaleFull runs the paper-scale sweep.
+	ScaleFull Scale = iota
+	// ScaleSmall runs a reduced sweep for tests and quick benchmarks.
+	ScaleSmall
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives all randomness; identical configs reproduce identical
+	// tables.
+	Seed uint64
+	// Trials overrides the per-experiment default when positive.
+	Trials int
+	// Scale selects full (paper) or small (test) sweeps.
+	Scale Scale
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Scale == ScaleSmall && def > 3 {
+		return 3
+	}
+	return def
+}
+
+// Spec is one registered experiment.
+type Spec struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(cfg Config) (*Table, error)
+}
+
+// Proto names a protocol for harness-level construction.
+type Proto string
+
+// Protocol names accepted by the harness and the CLI.
+const (
+	ProtoPush   Proto = "push"
+	ProtoPPull  Proto = "push-pull"
+	ProtoVisitX Proto = "visitx"
+	ProtoMeetX  Proto = "meetx"
+	ProtoHybrid Proto = "hybrid"
+)
+
+// Protos lists all protocol names.
+func Protos() []Proto {
+	return []Proto{ProtoPush, ProtoPPull, ProtoVisitX, ProtoMeetX, ProtoHybrid}
+}
+
+// BuildProcess constructs a protocol instance by name.
+func BuildProcess(p Proto, g *graph.Graph, src graph.Vertex, rng *xrand.RNG, agentOpts core.AgentOptions) (core.Process, error) {
+	switch p {
+	case ProtoPush:
+		return core.NewPush(g, src, rng, core.PushOptions{})
+	case ProtoPPull:
+		return core.NewPushPull(g, src, rng, core.PushPullOptions{})
+	case ProtoVisitX:
+		return core.NewVisitExchange(g, src, rng, agentOpts)
+	case ProtoMeetX:
+		return core.NewMeetExchange(g, src, rng, agentOpts)
+	case ProtoHybrid:
+		return core.NewHybrid(g, src, rng, agentOpts)
+	default:
+		return nil, fmt.Errorf("experiment: unknown protocol %q", p)
+	}
+}
+
+// Measurement is the distribution of broadcast times of one protocol on one
+// graph.
+type Measurement struct {
+	Proto   Proto
+	N       int // graph size
+	Summary stats.Summary
+}
+
+// Measure runs `trials` independent trials of protocol p on g from src and
+// summarizes the broadcast times. Incomplete runs are an error: every
+// experiment in this repository is expected to complete within the default
+// round budget.
+func Measure(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials int, seed uint64) (Measurement, error) {
+	results, err := core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
+		return BuildProcess(p, g, src, rng, agentOpts)
+	}, trials, 0, seed)
+	if err != nil {
+		return Measurement{}, err
+	}
+	rounds := make([]float64, len(results))
+	for i, r := range results {
+		if !r.Completed {
+			return Measurement{}, fmt.Errorf("experiment: %s on %s trial %d incomplete after %d rounds",
+				p, g.Name(), i, r.Rounds)
+		}
+		rounds[i] = float64(r.Rounds)
+	}
+	return Measurement{Proto: p, N: g.N(), Summary: stats.Summarize(rounds)}, nil
+}
+
+// fmtMean renders "mean ± ci95".
+func fmtMean(s stats.Summary) string {
+	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.CI95)
+}
+
+// shapeVerdict fits the measured means against the candidate shape
+// dictionary — both pure c·f(n) and affine c0+c1·f(n) fits, the latter
+// absorbing the lower-order terms that dominate at laptop-scale n — and
+// reports whether either best fit matches an accepted shape.
+func shapeVerdict(ns, means []float64, accepted ...string) string {
+	pure := stats.FitShape(ns, means)[0]
+	affineName := "-"
+	match := ""
+	for _, a := range accepted {
+		if pure.Shape == a {
+			match = pure.Shape
+			break
+		}
+	}
+	if len(ns) >= 3 {
+		if affine := stats.FitShapeAffine(ns, means); len(affine) > 0 {
+			affineName = affine[0].Shape
+			if match == "" {
+				for _, a := range accepted {
+					if affine[0].Shape == a {
+						match = affine[0].Shape
+						break
+					}
+				}
+			}
+		}
+	}
+	if match != "" {
+		return fmt.Sprintf("fits %s (pure %s, affine %s; expected %s) — OK",
+			match, pure.Shape, affineName, accepted[0])
+	}
+	return fmt.Sprintf("fits %s pure / %s affine (expected one of %v) — CHECK",
+		pure.Shape, affineName, accepted)
+}
+
+// sourceOr returns the named landmark, falling back to vertex 0.
+func sourceOr(g *graph.Graph, landmark string) graph.Vertex {
+	if v, ok := g.Landmark(landmark); ok {
+		return v
+	}
+	return 0
+}
+
+// registry of all experiments. Registration happens in init() functions
+// whose order follows file names, so All() re-sorts into presentation
+// order (Fig. 1 families, then theorems, then extensions).
+var registry []Spec
+
+// presentationOrder fixes how experiments appear in EXPERIMENTS.md and
+// -list output; unknown ids sort last in registration order.
+var presentationOrder = []string{
+	"fig1a-star", "fig1b-doublestar", "fig1c-heavytree", "fig1d-siamese",
+	"fig1e-cyclestars", "thm1-regular", "thm23-meetx", "lb-log",
+	"social", "fairness", "hybrid", "multirumor", "async", "meeting-bound", "ablations",
+}
+
+func register(s Spec) { registry = append(registry, s) }
+
+func orderIndex(id string) int {
+	for i, o := range presentationOrder {
+		if o == id {
+			return i
+		}
+	}
+	return len(presentationOrder)
+}
+
+// All returns every registered experiment in presentation order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		return orderIndex(out[i].ID) < orderIndex(out[j].ID)
+	})
+	return out
+}
+
+// ByID finds an experiment by ID.
+func ByID(id string) (Spec, bool) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+func init() {
+	register(Spec{
+		ID:       "multirumor",
+		Title:    "Parallel rumors share one agent system at no extra bandwidth",
+		PaperRef: "Section 3 (the multi-rumor setting motivating stationary starts)",
+		Run:      runMultiRumor,
+	})
+}
+
+// runMultiRumor quantifies the paper's Section 3 motivation: a fleet of
+// perpetual random walks disseminates many rumors, injected over time at
+// different sources, with per-rumor broadcast times matching the
+// single-rumor case and total token traffic independent of the number of
+// rumors in flight.
+func runMultiRumor(cfg Config) (*Table, error) {
+	dims := []int{8, 9, 10}
+	counts := []int{1, 8, 32, 64}
+	spacing := 5
+	if cfg.Scale == ScaleSmall {
+		dims = []int{6}
+		counts = []int{1, 8}
+	}
+	trials := cfg.trials(8)
+	tab := &Table{
+		ID:       "multirumor",
+		Title:    "Parallel rumors share one agent system at no extra bandwidth",
+		PaperRef: "Section 3 (the multi-rumor setting motivating stationary starts)",
+		Headers: []string{
+			"graph", "n", "rumors in flight", "per-rumor rounds (mean ± ci)",
+			"vs single-rumor", "agent messages/round",
+		},
+	}
+	worst := 0.0
+	for di, dim := range dims {
+		g := graph.Hypercube(dim)
+		baseline := 0.0
+		for ci, count := range counts {
+			perRumor := make([]float64, 0, trials*count)
+			var msgsPerRound float64
+			for trial := 0; trial < trials; trial++ {
+				rumors := make([]core.Rumor, count)
+				for r := range rumors {
+					rumors[r] = core.Rumor{
+						Source: graph.Vertex((r * 37) % g.N()),
+						Round:  r * spacing,
+					}
+				}
+				seed := xrand.Derive(cfg.Seed, 1000*di+10*ci+trial)
+				res, err := core.RunMultiRumor(g, rumors, xrand.New(seed), core.AgentOptions{}, 0)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Completed {
+					return nil, fmt.Errorf("multirumor: incomplete on %s with %d rumors", g.Name(), count)
+				}
+				for _, br := range res.BroadcastRounds {
+					perRumor = append(perRumor, float64(br))
+				}
+				msgsPerRound = float64(res.Messages) / float64(res.Rounds)
+			}
+			s := stats.Summarize(perRumor)
+			ratio := 1.0
+			if ci == 0 {
+				baseline = s.Mean
+			} else if baseline > 0 {
+				ratio = s.Mean / baseline
+			}
+			if ratio > worst {
+				worst = ratio
+			}
+			tab.AddRow(
+				g.Name(), fmt.Sprintf("%d", g.N()), fmt.Sprintf("%d", count),
+				fmtMean(s), fmt.Sprintf("%.2fx", ratio),
+				fmt.Sprintf("%.0f", msgsPerRound),
+			)
+		}
+	}
+	verdict := "OK (parallel rumors are free: same per-rumor latency, same traffic)"
+	if worst > 1.5 {
+		verdict = "CHECK (per-rumor latency degraded beyond 1.5x)"
+	}
+	tab.AddNote("worst per-rumor slowdown %.2fx — %s", worst, verdict)
+	tab.AddNote("rumors injected %d rounds apart at scattered sources; |A| = n agents; %d trials", spacing, trials)
+	tab.AddNote("agent messages/round is |A| regardless of rumors in flight — agents are unlabeled token counters (Section 3)")
+	return tab, nil
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+func init() {
+	register(Spec{
+		ID:       "social",
+		Title:    "Push-pull vs push on preferential-attachment (social-network) graphs",
+		PaperRef: "Section 1 (citing Chierichetti et al. [12] and Doerr, Fouz & Friedrich [17])",
+		Run:      runSocial,
+	})
+}
+
+// runSocial reproduces the observation the paper's introduction cites: on
+// social-network models (preferential attachment), push-pull is
+// dramatically faster than push, because pulls through hubs shortcut the
+// low-degree periphery that push must coupon-collect. It also situates the
+// agent protocols on the same topology.
+func runSocial(cfg Config) (*Table, error) {
+	sizes := []int{512, 1024, 2048, 4096}
+	mAttach := 4
+	if cfg.Scale == ScaleSmall {
+		sizes = []int{128, 256}
+	}
+	trials := cfg.trials(10)
+	tab := &Table{
+		ID:       "social",
+		Title:    "Push-pull vs push on preferential-attachment (social-network) graphs",
+		PaperRef: "Section 1 (citing Chierichetti et al. [12] and Doerr, Fouz & Friedrich [17])",
+		Headers: []string{
+			"n", "max deg", "T_push (rounds)", "T_push-pull (rounds)",
+			"push / push-pull", "T_visitx (rounds)", "T_meetx (rounds)",
+		},
+	}
+	rng := xrand.New(xrand.Derive(cfg.Seed, 60001))
+	var ns, pushMeans, ppullMeans []float64
+	minGap := 1e18
+	for i, n := range sizes {
+		g, err := graph.BarabasiAlbert(n, mAttach, rng)
+		if err != nil {
+			return nil, err
+		}
+		// Source: the last-added vertex — a typical low-degree "user".
+		src := graph.Vertex(g.N() - 1)
+		push, err := Measure(ProtoPush, g, src, core.AgentOptions{}, trials, cfg.Seed+uint64(4*i))
+		if err != nil {
+			return nil, err
+		}
+		ppull, err := Measure(ProtoPPull, g, src, core.AgentOptions{}, trials, cfg.Seed+uint64(4*i+1))
+		if err != nil {
+			return nil, err
+		}
+		visitx, err := Measure(ProtoVisitX, g, src, core.AgentOptions{}, trials, cfg.Seed+uint64(4*i+2))
+		if err != nil {
+			return nil, err
+		}
+		meetx, err := Measure(ProtoMeetX, g, src, core.AgentOptions{}, trials, cfg.Seed+uint64(4*i+3))
+		if err != nil {
+			return nil, err
+		}
+		gap := push.Summary.Mean / ppull.Summary.Mean
+		if gap < minGap {
+			minGap = gap
+		}
+		ns = append(ns, float64(n))
+		pushMeans = append(pushMeans, push.Summary.Mean)
+		ppullMeans = append(ppullMeans, ppull.Summary.Mean)
+		tab.AddRow(
+			fmt.Sprintf("%d", n), fmt.Sprintf("%d", g.MaxDegree()),
+			fmtMean(push.Summary), fmtMean(ppull.Summary), fmt.Sprintf("%.1f", gap),
+			fmtMean(visitx.Summary), fmtMean(meetx.Summary),
+		)
+	}
+	verdict := "OK (push-pull far faster than push on the social-network model, as [12, 17] prove)"
+	if minGap < 3 {
+		verdict = "CHECK (gap below 3x)"
+	}
+	tab.AddNote("minimum push/push-pull gap %.1fx, growing with n — %s", minGap, verdict)
+	if len(ns) >= 2 {
+		// Both protocols are polylogarithmic on preferential-attachment
+		// graphs (constant conductance); the separation [17] proves is
+		// Θ(log n) push vs Θ(log n / log log n) push-pull, visible here as
+		// the widening constant-factor gap rather than a shape difference.
+		tab.AddNote("push: %s", shapeVerdict(ns, pushMeans, "log n", "n^1/3", "sqrt n"))
+		tab.AddNote("push-pull: %s", shapeVerdict(ns, ppullMeans, "log n", "1"))
+	}
+	tab.AddNote("preferential attachment with m = %d, source = last-attached (low-degree) vertex; %d trials", mAttach, trials)
+	tab.AddNote("hubs make pulls decisive: the periphery reaches everything through them in O(log n/log log n) [17], while push pays the full Θ(log n); agents pay for thin peripheral bandwidth")
+	return tab, nil
+}

@@ -1,0 +1,201 @@
+package graph
+
+// BFS returns the array of BFS distances from src; unreachable vertices get
+// distance -1.
+func BFS(g *Graph, src Vertex) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]Vertex, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected. The empty graph is
+// considered connected.
+func IsConnected(g *Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	for _, d := range BFS(g, 0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the number of connected components and a component id
+// per vertex.
+func Components(g *Graph) (int, []int32) {
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := int32(0)
+	queue := make([]Vertex, 0)
+	for s := 0; s < g.N(); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], Vertex(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] < 0 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return int(count), comp
+}
+
+// IsBipartite reports whether the graph is bipartite (2-colorable). The
+// agent protocols use this to decide whether lazy walks are required for
+// meet-exchange to terminate (Section 3 of the paper).
+func IsBipartite(g *Graph) bool {
+	color := make([]int8, g.N())
+	queue := make([]Vertex, 0)
+	for s := 0; s < g.N(); s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		queue = append(queue[:0], Vertex(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(u) {
+				switch color[w] {
+				case 0:
+					color[w] = -color[u]
+					queue = append(queue, w)
+				case color[u]:
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the largest BFS distance from v; -1 if the graph is
+// disconnected from v.
+func Eccentricity(g *Graph, v Vertex) int {
+	ecc := 0
+	for _, d := range BFS(g, v) {
+		if d < 0 {
+			return -1
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter via all-pairs BFS. O(n·m); intended
+// for the laptop-scale graphs in this repository's tests and experiments.
+// Returns -1 for disconnected graphs.
+func Diameter(g *Graph) int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		e := Eccentricity(g, Vertex(v))
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DiameterEstimate returns a fast lower bound on the diameter using the
+// classic double-sweep heuristic (exact on trees). Returns -1 for
+// disconnected graphs.
+func DiameterEstimate(g *Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist := BFS(g, 0)
+	far := Vertex(0)
+	for v, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > dist[far] {
+			far = Vertex(v)
+		}
+	}
+	return Eccentricity(g, far)
+}
+
+// DegreeHistogram returns a map degree -> count of vertices.
+func DegreeHistogram(g *Graph) map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(Vertex(v))]++
+	}
+	return h
+}
+
+// GiantComponent extracts the largest connected component as a new graph
+// with vertices renumbered densely. The second return value maps new vertex
+// ids back to ids in the original graph. Random-graph models such as
+// Chung-Lu and G(n,p) can produce isolated vertices; broadcast experiments
+// run on the giant component.
+func GiantComponent(g *Graph) (*Graph, []Vertex) {
+	count, comp := Components(g)
+	if count == 0 {
+		return g, nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	oldToNew := make([]Vertex, g.N())
+	newToOld := make([]Vertex, 0, sizes[best])
+	for v := 0; v < g.N(); v++ {
+		if comp[v] == int32(best) {
+			oldToNew[v] = Vertex(len(newToOld))
+			newToOld = append(newToOld, Vertex(v))
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	b := NewBuilder(len(newToOld), g.name+"-giant")
+	for _, old := range newToOld {
+		for _, w := range g.Neighbors(old) {
+			if old < w && oldToNew[w] >= 0 {
+				if err := b.AddEdge(oldToNew[old], oldToNew[w]); err != nil {
+					panic(err) // cannot happen: subgraph of a simple graph
+				}
+			}
+		}
+	}
+	return b.mustBuild(), newToOld
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the graph in a simple line-oriented text format:
+//
+//	rumorgraph <n> <m> <name>
+//	u v        (one line per undirected edge, u < v)
+//
+// The format round-trips through Decode. Landmarks are not serialized;
+// they are generator metadata.
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "rumorgraph %d %d %s\n", g.N(), g.M(), sanitizeName(g.name)); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(Vertex(v)) {
+			if Vertex(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a graph in the Encode format.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 3 || header[0] != "rumorgraph" {
+		return nil, fmt.Errorf("graph: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: bad vertex count %q", header[1])
+	}
+	m, err := strconv.Atoi(header[2])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graph: bad edge count %q", header[2])
+	}
+	name := "imported"
+	if len(header) >= 4 {
+		name = header[3]
+	}
+	b := NewBuilder(n, name)
+	edges := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q", fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q", fields[1])
+		}
+		if err := b.AddEdge(Vertex(u), Vertex(v)); err != nil {
+			return nil, err
+		}
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if edges != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d", m, edges)
+	}
+	return b.Build()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}

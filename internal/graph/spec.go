@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rumor/internal/xrand"
+)
+
+// FromSpec builds a graph from a compact textual description, used by the
+// command-line tools. The grammar is family[:p1[,p2[,p3]]]:
+//
+//	star:L             star with L leaves
+//	doublestar:L       double star, L leaves per star
+//	heavytree:LV       heavy binary tree with LV levels
+//	siamesetree:LV     Siamese heavy binary tree with LV levels
+//	cyclestars:K       cycle of stars of cliques with parameter K
+//	complete:N         complete graph K_N
+//	cycle:N            N-cycle
+//	path:N             N-vertex path
+//	bintree:LV         complete binary tree with LV levels
+//	hypercube:D        D-dimensional hypercube
+//	torus:R,C          R×C torus
+//	grid:R,C           R×C grid
+//	ringcliques:K,S    K cliques of size S in a ring
+//	cliquepath:K,S     K cliques of size S in a path
+//	randreg:N,D        connected random D-regular graph on N vertices
+//	gnp:N,P            Erdős–Rényi G(N, P); P parsed as float
+//	barabasi:N,M       preferential attachment, M edges per new vertex
+//	chunglu:N,B,D      Chung-Lu power law, exponent B, average degree D
+//
+// Random families consume randomness from rng.
+func FromSpec(spec string, rng *xrand.RNG) (*Graph, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	var parts []string
+	if args != "" {
+		parts = strings.Split(args, ",")
+	}
+	ints := func(want int) ([]int, error) {
+		if len(parts) != want {
+			return nil, fmt.Errorf("graph: spec %q wants %d parameters, got %d", spec, want, len(parts))
+		}
+		out := make([]int, want)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("graph: spec %q parameter %q: %w", spec, p, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	// Deterministic families panic on bad parameter ranges; convert that to
+	// an error for CLI friendliness.
+	build := func(f func() *Graph) (g *Graph, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("graph: spec %q: %v", spec, r)
+			}
+		}()
+		return f(), nil
+	}
+	switch name {
+	case "star":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return Star(p[0]) })
+	case "doublestar":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return DoubleStar(p[0]) })
+	case "heavytree":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return HeavyBinaryTree(p[0]) })
+	case "siamesetree":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return SiameseHeavyTree(p[0]) })
+	case "cyclestars":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return CycleStarsCliques(p[0]) })
+	case "complete":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return Complete(p[0]) })
+	case "cycle":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return Cycle(p[0]) })
+	case "path":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return Path(p[0]) })
+	case "bintree":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return BinaryTree(p[0]) })
+	case "hypercube":
+		p, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return Hypercube(p[0]) })
+	case "torus":
+		p, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return Torus2D(p[0], p[1]) })
+	case "grid":
+		p, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return Grid2D(p[0], p[1]) })
+	case "ringcliques":
+		p, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return RingOfCliques(p[0], p[1]) })
+	case "cliquepath":
+		p, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return build(func() *Graph { return CliquePath(p[0], p[1]) })
+	case "randreg":
+		p, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return RandomRegularConnected(p[0], p[1], rng)
+	case "gnp":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("graph: spec %q wants 2 parameters", spec)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
+		}
+		prob, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
+		}
+		return ErdosRenyi(n, prob, rng)
+	case "barabasi":
+		p, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return BarabasiAlbert(p[0], p[1], rng)
+	case "chunglu":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("graph: spec %q wants 3 parameters", spec)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
+		}
+		beta, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
+		}
+		avg, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
+		}
+		return ChungLu(n, beta, avg, rng)
+	default:
+		return nil, fmt.Errorf("graph: unknown family %q (see FromSpec doc for the grammar)", name)
+	}
+}
+
+// SpecFamilies lists the family names FromSpec accepts, for CLI usage text.
+func SpecFamilies() []string {
+	return []string{
+		"star:L", "doublestar:L", "heavytree:LV", "siamesetree:LV",
+		"cyclestars:K", "complete:N", "cycle:N", "path:N", "bintree:LV",
+		"hypercube:D", "torus:R,C", "grid:R,C", "ringcliques:K,S",
+		"cliquepath:K,S", "randreg:N,D", "gnp:N,P", "chunglu:N,B,D",
+		"barabasi:N,M",
+	}
+}

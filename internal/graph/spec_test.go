@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"rumor/internal/xrand"
+)
+
+func TestFromSpecAllFamilies(t *testing.T) {
+	rng := xrand.New(1)
+	cases := []struct {
+		spec  string
+		wantN int
+	}{
+		{"star:10", 11},
+		{"doublestar:5", 12},
+		{"heavytree:4", 15},
+		{"siamesetree:4", 29},
+		{"cyclestars:3", 39},
+		{"complete:7", 7},
+		{"cycle:9", 9},
+		{"path:5", 5},
+		{"bintree:3", 7},
+		{"hypercube:4", 16},
+		{"torus:3,4", 12},
+		{"grid:2,5", 10},
+		{"ringcliques:3,4", 12},
+		{"cliquepath:3,4", 12},
+		{"randreg:20,4", 20},
+		{"gnp:30,0.2", 30},
+		{"chunglu:50,2.5,5", 50},
+	}
+	for _, c := range cases {
+		g, err := FromSpec(c.spec, rng)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if g.N() != c.wantN {
+			t.Errorf("%s: N = %d, want %d", c.spec, g.N(), c.wantN)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+		}
+	}
+}
+
+func TestFromSpecWhitespaceAndCase(t *testing.T) {
+	rng := xrand.New(2)
+	g, err := FromSpec(" Star:8", rng)
+	if err != nil || g.N() != 9 {
+		t.Errorf("case/space-insensitive parse failed: %v", err)
+	}
+	g, err = FromSpec("torus: 3 , 3", rng)
+	if err != nil || g.N() != 9 {
+		t.Errorf("parameter whitespace parse failed: %v", err)
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	rng := xrand.New(3)
+	bad := []string{
+		"",
+		"unknown:5",
+		"star",           // missing parameter
+		"star:x",         // non-integer
+		"star:0",         // out of range (panic converted to error)
+		"torus:3",        // wrong arity
+		"hypercube:99",   // out of range
+		"gnp:10",         // wrong arity
+		"gnp:10,zz",      // bad float
+		"chunglu:10,2,3", // beta out of range
+		"randreg:10,11",  // d >= n
+	}
+	for _, spec := range bad {
+		if _, err := FromSpec(spec, rng); err == nil {
+			t.Errorf("FromSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestSpecFamiliesCoverSwitch(t *testing.T) {
+	rng := xrand.New(4)
+	for _, f := range SpecFamilies() {
+		name, _, _ := strings.Cut(f, ":")
+		// Each listed family must at least be recognized (parameter errors
+		// are fine, unknown-family errors are not).
+		_, err := FromSpec(name+":0", rng)
+		if err != nil && strings.Contains(err.Error(), "unknown family") {
+			t.Errorf("listed family %q not recognized by FromSpec", name)
+		}
+	}
+}
+
+func TestFromSpecBarabasi(t *testing.T) {
+	g, err := FromSpec("barabasi:60,3", xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 60 {
+		t.Errorf("N = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

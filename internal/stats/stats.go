@@ -1,0 +1,325 @@
+// Package stats provides the statistical machinery the experiment harness
+// uses to turn raw broadcast-time samples into the paper's claims: summary
+// statistics with confidence intervals, least-squares fits, and growth-shape
+// identification (is T(n) growing like log n, n^{2/3}, n, n·log n, ...?).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P10    float64
+	P90    float64
+	CI95   float64 // half-width of the normal-approximation 95% CI on the mean
+}
+
+// Summarize computes descriptive statistics. It panics on an empty sample;
+// callers control trial counts.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	ss := 0.0
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P10:    Quantile(sorted, 0.1),
+		P90:    Quantile(sorted, 0.9),
+		CI95:   1.96 * std / math.Sqrt(float64(len(sorted))),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LinearFit fits y ≈ a + b·x by ordinary least squares and returns the
+// intercept a, slope b, and coefficient of determination R².
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: LinearFit needs two equal-length samples of size >= 2")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		// Degenerate: all x equal. Slope undefined; report flat fit.
+		return sy / n, 0, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1
+	}
+	ssRes := 0.0
+	for i := range x {
+		e := y[i] - (a + b*x[i])
+		ssRes += e * e
+	}
+	r2 = 1 - ssRes/ssTot
+	return a, b, r2
+}
+
+// LogLogSlope fits log(y) ≈ a + b·log(x) and returns the exponent b with
+// its R². All inputs must be positive.
+func LogLogSlope(x, y []float64) (b, r2 float64) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: LogLogSlope needs positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	_, b, r2 = LinearFit(lx, ly)
+	return b, r2
+}
+
+// Shape is a candidate asymptotic growth shape f(n).
+type Shape struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// CandidateShapes is the shape dictionary used to classify measured
+// broadcast-time growth. It covers every rate the paper proves:
+// Θ(1), Θ(log n), Θ(n^{1/3}), Θ(√n), Θ(n^{2/3}), Θ(n^{2/3}·log n), Θ(n),
+// Θ(n·log n), Θ(n²).
+func CandidateShapes() []Shape {
+	return []Shape{
+		{Name: "1", F: func(n float64) float64 { return 1 }},
+		{Name: "log n", F: func(n float64) float64 { return math.Log(n) }},
+		{Name: "n^1/3", F: func(n float64) float64 { return math.Cbrt(n) }},
+		{Name: "sqrt n", F: func(n float64) float64 { return math.Sqrt(n) }},
+		{Name: "n^2/3", F: func(n float64) float64 { return math.Pow(n, 2.0/3) }},
+		{Name: "n^2/3 log n", F: func(n float64) float64 { return math.Pow(n, 2.0/3) * math.Log(n) }},
+		{Name: "n", F: func(n float64) float64 { return n }},
+		{Name: "n log n", F: func(n float64) float64 { return n * math.Log(n) }},
+		{Name: "n^2", F: func(n float64) float64 { return n * n }},
+	}
+}
+
+// ShapeFit is the result of fitting one candidate shape.
+type ShapeFit struct {
+	Shape     string
+	Constant  float64 // least-squares c (the slope c1 for affine fits)
+	Intercept float64 // c0 for affine fits; 0 for pure fits
+	RelErr    float64 // root-mean-square relative residual
+	Affine    bool
+}
+
+// FitShape finds the candidate f with the smallest RMS relative residual
+// for T(n) ≈ c·f(n) over the sweep (ns, ts), and returns all fits sorted
+// best-first. Relative residuals make sizes comparable across the sweep:
+// a fit that is 10% off at every n beats one that nails small n and misses
+// large n by 2x.
+func FitShape(ns, ts []float64) []ShapeFit {
+	if len(ns) != len(ts) || len(ns) < 2 {
+		panic("stats: FitShape needs two equal-length samples of size >= 2")
+	}
+	shapes := CandidateShapes()
+	fits := make([]ShapeFit, 0, len(shapes))
+	for _, s := range shapes {
+		// Least squares on relative scale: minimize sum ((c f - t)/t)^2
+		// => c = sum(f/t) / sum(f^2/t^2).
+		num, den := 0.0, 0.0
+		ok := true
+		for i := range ns {
+			f := s.F(ns[i])
+			if ts[i] <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				ok = false
+				break
+			}
+			num += f / ts[i]
+			den += f * f / (ts[i] * ts[i])
+		}
+		if !ok || den == 0 {
+			continue
+		}
+		c := num / den
+		ss := 0.0
+		for i := range ns {
+			rel := (c*s.F(ns[i]) - ts[i]) / ts[i]
+			ss += rel * rel
+		}
+		fits = append(fits, ShapeFit{
+			Shape:    s.Name,
+			Constant: c,
+			RelErr:   math.Sqrt(ss / float64(len(ns))),
+		})
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].RelErr < fits[j].RelErr })
+	return fits
+}
+
+// BestShape returns the name of the best-fitting candidate shape.
+func BestShape(ns, ts []float64) string {
+	return FitShape(ns, ts)[0].Shape
+}
+
+// FitShapeAffine fits T(n) ≈ c0 + c1·f(n) for every non-constant candidate
+// shape, using relative (1/t²-weighted) least squares, and returns the fits
+// sorted best-first. The intercept absorbs lower-order terms that dominate
+// at small n — measured broadcast times are typically a + b·f(n), and a
+// pure c·f(n) fit misclassifies such data. Shapes whose best fit has a
+// negative slope are dropped: broadcast times grow.
+func FitShapeAffine(ns, ts []float64) []ShapeFit {
+	if len(ns) != len(ts) || len(ns) < 3 {
+		panic("stats: FitShapeAffine needs two equal-length samples of size >= 3")
+	}
+	shapes := CandidateShapes()
+	fits := make([]ShapeFit, 0, len(shapes))
+	for _, s := range shapes {
+		if s.Name == "1" {
+			continue // collinear with the intercept
+		}
+		var s00, s01, s11, b0, b1 float64
+		ok := true
+		for i := range ns {
+			f := s.F(ns[i])
+			if ts[i] <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				ok = false
+				break
+			}
+			w := 1 / (ts[i] * ts[i])
+			s00 += w
+			s01 += w * f
+			s11 += w * f * f
+			b0 += w * ts[i]
+			b1 += w * f * ts[i]
+		}
+		det := s00*s11 - s01*s01
+		if !ok || math.Abs(det) < 1e-12*s00*s11 {
+			continue
+		}
+		c0 := (s11*b0 - s01*b1) / det
+		c1 := (s00*b1 - s01*b0) / det
+		if c1 < 0 {
+			continue
+		}
+		ss := 0.0
+		for i := range ns {
+			rel := (c0 + c1*s.F(ns[i]) - ts[i]) / ts[i]
+			ss += rel * rel
+		}
+		fits = append(fits, ShapeFit{
+			Shape:     s.Name,
+			Constant:  c1,
+			Intercept: c0,
+			RelErr:    math.Sqrt(ss / float64(len(ns))),
+			Affine:    true,
+		})
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].RelErr < fits[j].RelErr })
+	return fits
+}
+
+// RatioBand returns min and max of ts[i]/us[i]; the Theorem 1 experiments
+// use it to check that two protocols stay within a constant factor.
+func RatioBand(ts, us []float64) (lo, hi float64, err error) {
+	if len(ts) != len(us) || len(ts) == 0 {
+		return 0, 0, fmt.Errorf("stats: RatioBand needs equal non-empty slices")
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range ts {
+		if us[i] == 0 {
+			return 0, 0, fmt.Errorf("stats: RatioBand division by zero at %d", i)
+		}
+		r := ts[i] / us[i]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return lo, hi, nil
+}
+
+// Welford is a streaming mean/variance accumulator.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates x.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running sample variance (n-1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the running sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }

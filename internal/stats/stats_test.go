@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumor/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Errorf("Mean = %g", s.Mean)
+	}
+	if !almostEqual(s.Median, 3, 1e-12) {
+		t.Errorf("Median = %g", s.Median)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if !almostEqual(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("Std = %g", s.Std)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.CI95 != 0 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20}, {0.25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2 := LinearFit(x, y)
+	if !almostEqual(a, 3, 1e-9) || !almostEqual(b, 2, 1e-9) || !almostEqual(r2, 1, 1e-9) {
+		t.Errorf("fit = (%g, %g, %g), want (3, 2, 1)", a, b, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	a, b, r2 := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if b != 0 || r2 != 0 || !almostEqual(a, 2, 1e-9) {
+		t.Errorf("degenerate fit = (%g, %g, %g)", a, b, r2)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 4 n^1.5
+	x := []float64{2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 4 * math.Pow(x[i], 1.5)
+	}
+	b, r2 := LogLogSlope(x, y)
+	if !almostEqual(b, 1.5, 1e-9) || !almostEqual(r2, 1, 1e-9) {
+		t.Errorf("LogLogSlope = (%g, %g), want (1.5, 1)", b, r2)
+	}
+}
+
+func TestFitShapeRecoversKnownShapes(t *testing.T) {
+	ns := []float64{512, 1024, 2048, 4096, 8192, 16384}
+	gen := func(f func(n float64) float64, c float64) []float64 {
+		out := make([]float64, len(ns))
+		for i, n := range ns {
+			out[i] = c * f(n)
+		}
+		return out
+	}
+	cases := []struct {
+		want string
+		f    func(n float64) float64
+	}{
+		{"log n", math.Log},
+		{"n", func(n float64) float64 { return n }},
+		{"n log n", func(n float64) float64 { return n * math.Log(n) }},
+		{"n^2/3", func(n float64) float64 { return math.Pow(n, 2.0/3) }},
+		{"sqrt n", math.Sqrt},
+		{"n^2", func(n float64) float64 { return n * n }},
+	}
+	for _, c := range cases {
+		ts := gen(c.f, 3.7)
+		if got := BestShape(ns, ts); got != c.want {
+			t.Errorf("BestShape for %s data = %s", c.want, got)
+		}
+	}
+}
+
+func TestFitShapeNoisy(t *testing.T) {
+	// 15% multiplicative noise must not flip log n into a polynomial.
+	rng := xrand.New(2024)
+	ns := []float64{512, 1024, 2048, 4096, 8192, 16384, 32768}
+	ts := make([]float64, len(ns))
+	for i, n := range ns {
+		noise := 1 + 0.15*(2*rng.Float64()-1)
+		ts[i] = 5 * math.Log(n) * noise
+	}
+	if got := BestShape(ns, ts); got != "log n" {
+		t.Errorf("noisy log n classified as %s", got)
+	}
+}
+
+func TestFitShapeConstantRecovered(t *testing.T) {
+	ns := []float64{100, 200, 400}
+	ts := []float64{42, 42, 42}
+	fits := FitShape(ns, ts)
+	if fits[0].Shape != "1" {
+		t.Fatalf("constant data classified as %s", fits[0].Shape)
+	}
+	if !almostEqual(fits[0].Constant, 42, 1e-9) {
+		t.Errorf("constant = %g, want 42", fits[0].Constant)
+	}
+}
+
+func TestRatioBand(t *testing.T) {
+	lo, hi, err := RatioBand([]float64{2, 6, 4}, []float64{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 || hi != 3 {
+		t.Errorf("RatioBand = (%g, %g), want (2, 3)", lo, hi)
+	}
+	if _, _, err := RatioBand([]float64{1}, []float64{0}); err == nil {
+		t.Error("division by zero not reported")
+	}
+	if _, _, err := RatioBand([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not reported")
+	}
+}
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	rng := xrand.New(55)
+	xs := make([]float64, 500)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if !almostEqual(w.Mean(), s.Mean, 1e-9) {
+		t.Errorf("Welford mean %g vs %g", w.Mean(), s.Mean)
+	}
+	if !almostEqual(w.Std(), s.Std, 1e-9) {
+		t.Errorf("Welford std %g vs %g", w.Std(), s.Std)
+	}
+	if w.N() != s.N {
+		t.Errorf("Welford n %d vs %d", w.N(), s.N)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford not usable")
+	}
+}
+
+// TestQuickQuantileBounds: quantiles never leave [min, max] and are monotone
+// in q.
+func TestQuickQuantileBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		s := Summarize(xs)
+		prev := math.Inf(-1)
+		sorted := append([]float64(nil), xs...)
+		sortFloats(sorted)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			v := Quantile(sorted, q)
+			if v < s.Min-1e-9 || v > s.Max+1e-9 || v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestFitShapeAffineRecoversOffsetData(t *testing.T) {
+	// T(n) = 25 + 9·ln n: a pure c·f(n) fit drifts toward small powers of
+	// n, but the affine fit must identify log n exactly.
+	ns := []float64{128, 256, 512, 1024, 2048}
+	ts := make([]float64, len(ns))
+	for i, n := range ns {
+		ts[i] = 25 + 9*math.Log(n)
+	}
+	fits := FitShapeAffine(ns, ts)
+	if len(fits) == 0 {
+		t.Fatal("no affine fits")
+	}
+	best := fits[0]
+	if best.Shape != "log n" {
+		t.Fatalf("affine best = %s, want log n", best.Shape)
+	}
+	if !almostEqual(best.Constant, 9, 1e-6) || !almostEqual(best.Intercept, 25, 1e-5) {
+		t.Errorf("affine fit = %.3f + %.3f·f, want 25 + 9·f", best.Intercept, best.Constant)
+	}
+	if !best.Affine {
+		t.Error("Affine flag not set")
+	}
+}
+
+func TestFitShapeAffineSkipsDecreasingShapes(t *testing.T) {
+	// Strictly decreasing data has no growth shape with positive slope.
+	ns := []float64{100, 200, 400, 800}
+	ts := []float64{100, 50, 25, 12.5}
+	for _, f := range FitShapeAffine(ns, ts) {
+		if f.Constant < 0 {
+			t.Errorf("negative-slope fit %s leaked through", f.Shape)
+		}
+	}
+}
+
+func TestFitShapeAffineTooFewPointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic with 2 points")
+		}
+	}()
+	FitShapeAffine([]float64{1, 2}, []float64{1, 2})
+}
+
+func TestFitShapeAffineAffineLinear(t *testing.T) {
+	// T(n) = 100 + 0.5·n.
+	ns := []float64{256, 512, 1024, 2048}
+	ts := make([]float64, len(ns))
+	for i, n := range ns {
+		ts[i] = 100 + 0.5*n
+	}
+	best := FitShapeAffine(ns, ts)[0]
+	if best.Shape != "n" {
+		t.Fatalf("affine best = %s, want n", best.Shape)
+	}
+}

@@ -1,0 +1,144 @@
+// Package trace provides observers for the simulation engine: per-edge
+// utilization accounting (the "locally fair bandwidth use" the paper credits
+// for the agent protocols' good performance, Section 1) and round-history
+// recording helpers.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rumor/internal/graph"
+)
+
+// EdgeUsage counts traversals per undirected edge. Feed it to a protocol
+// via core's MoveObserver; Observer ignores stay-put moves (lazy walks).
+type EdgeUsage struct {
+	g      *graph.Graph
+	counts map[uint64]int64
+	total  int64
+	rounds int
+}
+
+// NewEdgeUsage returns a counter for edges of g.
+func NewEdgeUsage(g *graph.Graph) *EdgeUsage {
+	return &EdgeUsage{
+		g:      g,
+		counts: make(map[uint64]int64, g.M()),
+	}
+}
+
+func edgeKey(u, v graph.Vertex) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// Observe records one traversal of {from, to}. It is shaped to be used as a
+// core.MoveObserver.
+func (e *EdgeUsage) Observe(round int, from, to graph.Vertex) {
+	if from == to {
+		return // lazy stay; no edge used
+	}
+	e.counts[edgeKey(from, to)]++
+	e.total++
+	if round > e.rounds {
+		e.rounds = round
+	}
+}
+
+// Total returns the number of traversals observed.
+func (e *EdgeUsage) Total() int64 { return e.total }
+
+// Rounds returns the highest round observed.
+func (e *EdgeUsage) Rounds() int { return e.rounds }
+
+// Count returns the traversal count of edge {u, v}.
+func (e *EdgeUsage) Count(u, v graph.Vertex) int64 {
+	return e.counts[edgeKey(u, v)]
+}
+
+// PerEdge returns the traversal count of every edge of the graph, including
+// zeros for unused edges, in a deterministic order.
+func (e *EdgeUsage) PerEdge() []int64 {
+	out := make([]int64, 0, e.g.M())
+	for u := 0; u < e.g.N(); u++ {
+		for _, v := range e.g.Neighbors(graph.Vertex(u)) {
+			if graph.Vertex(u) < v {
+				out = append(out, e.counts[edgeKey(graph.Vertex(u), v)])
+			}
+		}
+	}
+	return out
+}
+
+// FairnessStats summarizes how evenly edge bandwidth was used.
+type FairnessStats struct {
+	MeanPerEdge float64
+	CV          float64 // coefficient of variation (std/mean); 0 = perfectly fair
+	Gini        float64 // Gini coefficient in [0,1); 0 = perfectly fair
+	MaxPerEdge  int64
+	MinPerEdge  int64
+}
+
+// Fairness computes fairness statistics over all edges of the graph.
+func (e *EdgeUsage) Fairness() FairnessStats {
+	per := e.PerEdge()
+	if len(per) == 0 {
+		return FairnessStats{}
+	}
+	sum := 0.0
+	minC, maxC := per[0], per[0]
+	for _, c := range per {
+		sum += float64(c)
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := sum / float64(len(per))
+	ss := 0.0
+	for _, c := range per {
+		d := float64(c) - mean
+		ss += d * d
+	}
+	cv := 0.0
+	if mean > 0 {
+		cv = math.Sqrt(ss/float64(len(per))) / mean
+	}
+	return FairnessStats{
+		MeanPerEdge: mean,
+		CV:          cv,
+		Gini:        gini(per),
+		MaxPerEdge:  maxC,
+		MinPerEdge:  minC,
+	}
+}
+
+func gini(counts []int64) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), counts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var cum, weighted float64
+	for i, c := range sorted {
+		cum += float64(c)
+		weighted += float64(c) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}
+
+// String renders a short human-readable summary.
+func (f FairnessStats) String() string {
+	return fmt.Sprintf("mean/edge=%.2f cv=%.3f gini=%.3f min=%d max=%d",
+		f.MeanPerEdge, f.CV, f.Gini, f.MinPerEdge, f.MaxPerEdge)
+}

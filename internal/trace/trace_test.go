@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+func TestObserveCountsUndirected(t *testing.T) {
+	g := graph.Path(3)
+	e := NewEdgeUsage(g)
+	e.Observe(1, 0, 1)
+	e.Observe(2, 1, 0) // same undirected edge
+	e.Observe(2, 1, 2)
+	if got := e.Count(0, 1); got != 2 {
+		t.Errorf("Count(0,1) = %d, want 2", got)
+	}
+	if got := e.Count(1, 0); got != 2 {
+		t.Errorf("Count(1,0) = %d, want 2 (undirected)", got)
+	}
+	if got := e.Count(1, 2); got != 1 {
+		t.Errorf("Count(1,2) = %d, want 1", got)
+	}
+	if e.Total() != 3 {
+		t.Errorf("Total = %d, want 3", e.Total())
+	}
+	if e.Rounds() != 2 {
+		t.Errorf("Rounds = %d, want 2", e.Rounds())
+	}
+}
+
+func TestObserveIgnoresStays(t *testing.T) {
+	g := graph.Path(3)
+	e := NewEdgeUsage(g)
+	e.Observe(1, 1, 1)
+	if e.Total() != 0 {
+		t.Error("stay-put move counted as edge use")
+	}
+}
+
+func TestPerEdgeIncludesZeros(t *testing.T) {
+	g := graph.Cycle(5)
+	e := NewEdgeUsage(g)
+	e.Observe(1, 0, 1)
+	per := e.PerEdge()
+	if len(per) != g.M() {
+		t.Fatalf("PerEdge length %d, want %d", len(per), g.M())
+	}
+	nonzero := 0
+	for _, c := range per {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Errorf("nonzero edges = %d, want 1", nonzero)
+	}
+}
+
+func TestFairnessUniform(t *testing.T) {
+	g := graph.Cycle(6)
+	e := NewEdgeUsage(g)
+	for round := 1; round <= 10; round++ {
+		for u := 0; u < 6; u++ {
+			e.Observe(round, graph.Vertex(u), graph.Vertex((u+1)%6))
+		}
+	}
+	f := e.Fairness()
+	if f.CV != 0 || f.Gini != 0 {
+		t.Errorf("uniform usage reported unfair: %+v", f)
+	}
+	if f.MeanPerEdge != 10 || f.MinPerEdge != 10 || f.MaxPerEdge != 10 {
+		t.Errorf("uniform usage stats wrong: %+v", f)
+	}
+}
+
+func TestFairnessSkewed(t *testing.T) {
+	g := graph.Cycle(6)
+	e := NewEdgeUsage(g)
+	for i := 0; i < 100; i++ {
+		e.Observe(1, 0, 1)
+	}
+	e.Observe(1, 1, 2)
+	f := e.Fairness()
+	if f.CV < 1 {
+		t.Errorf("skewed usage CV = %.3f, want > 1", f.CV)
+	}
+	if f.Gini < 0.5 {
+		t.Errorf("skewed usage Gini = %.3f, want > 0.5", f.Gini)
+	}
+	if f.MinPerEdge != 0 || f.MaxPerEdge != 100 {
+		t.Errorf("min/max wrong: %+v", f)
+	}
+}
+
+func TestGiniEmptyAndZero(t *testing.T) {
+	g := graph.Path(2)
+	e := NewEdgeUsage(g)
+	f := e.Fairness()
+	if f.Gini != 0 || f.CV != 0 {
+		t.Errorf("empty usage nonzero fairness: %+v", f)
+	}
+}
+
+// TestVisitExchangeFairerThanPushPullOnDoubleStar reproduces the paper's
+// Section 1 fairness claim on the motivating example. The operative notion
+// is starvation: in visit-exchange every edge (including the bridge) is
+// crossed at the same Θ(1) per-round rate, while push-pull selects the
+// bridge only with probability Θ(1/n) per round. Both protocols are run for
+// a fixed window so rates are comparable.
+func TestVisitExchangeFairerThanPushPullOnDoubleStar(t *testing.T) {
+	g := graph.DoubleStar(64)
+	a, _ := g.Landmark("centerA")
+	b, _ := g.Landmark("centerB")
+	const rounds = 300
+
+	ppullUsage := NewEdgeUsage(g)
+	pp, err := core.NewPushPull(g, a, xrand.New(5), core.PushPullOptions{Observer: ppullUsage.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		pp.Step()
+	}
+
+	visitUsage := NewEdgeUsage(g)
+	vx, err := core.NewVisitExchange(g, a, xrand.New(5), core.AgentOptions{Observer: visitUsage.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		vx.Step()
+	}
+
+	// Bridge rate: agents cross at Θ(1) per round; push-pull at Θ(1/n).
+	ppBridgeRate := float64(ppullUsage.Count(a, b)) / rounds
+	vxBridgeRate := float64(visitUsage.Count(a, b)) / rounds
+	if vxBridgeRate < 10*ppBridgeRate {
+		t.Errorf("bridge rate visitx %.4f not >> push-pull %.4f", vxBridgeRate, ppBridgeRate)
+	}
+
+	// No starved edges under visit-exchange: the least-used edge still gets
+	// a constant fraction of the mean.
+	fv := visitUsage.Fairness()
+	if ratio := float64(fv.MinPerEdge) / fv.MeanPerEdge; ratio < 0.2 || math.IsNaN(ratio) {
+		t.Errorf("visitx min/mean edge usage = %.3f, want >= 0.2 (no starvation)", ratio)
+	}
+	// Push-pull starves the bridge: its usage is far below the mean edge
+	// usage.
+	fp := ppullUsage.Fairness()
+	if rate := float64(ppullUsage.Count(a, b)) / fp.MeanPerEdge; rate > 0.25 {
+		t.Errorf("push-pull bridge usage %.3f of mean, expected starvation (< 0.25)", rate)
+	}
+}
