@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchWritesJSON runs the bench command at a tiny benchtime and
+// checks the JSON report structure.
+func TestBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	cmd := exec.Command("go", "run", ".", "-out", out, "-benchtime", "1ms")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("bench run failed: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) < 6 {
+		t.Fatalf("expected >= 6 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	for _, b := range rep.Benchmarks {
+		if b.NsPerOp <= 0 {
+			t.Errorf("benchmark %s has non-positive ns/op", b.Name)
+		}
+	}
+}

@@ -4,16 +4,41 @@
 // (optionally lazy) random walk, starting from the stationary distribution
 // deg(v)/2|E| (Section 3 of the paper).
 //
+// # Deterministic parallelism
+//
+// Stepping is sharded across the reusable worker pool in internal/par
+// under a counter-based randomness contract: every draw agent i makes in
+// round r comes from the stream keyed (seed, i, r) (see xrand.NewStream),
+// where seed is drawn once from the constructor's RNG. No draw depends on
+// execution order or on how many values other agents consumed, so results
+// are bit-identical for a given seed regardless of GOMAXPROCS or shard
+// count. Order-sensitive outputs (the Respawned list) are collected per
+// shard and merged in shard order, which — shards being contiguous,
+// ascending id ranges — preserves the paper's "ties broken by agent id"
+// ordering.
+//
+// Walk steps with a non-nil ChooseFunc (the Section 5 coupling hook) run
+// serially: the hook may close over shared mutable state, as the coupling
+// machinery's lazily-built choice lists do. Agents the hook declines are
+// stepped with exactly the same per-agent streams as the parallel path.
+//
 // The package also provides epoch-stamped occupancy counters so protocols
-// can track per-round vertex visits in O(|A|) per round without O(n) clears.
+// can track per-round vertex visits in O(|A|) per round without O(n)
+// clears.
 package agents
 
 import (
 	"fmt"
 
 	"rumor/internal/graph"
+	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
+
+// stepGrain is the minimum number of agents per shard: small enough to
+// occupy every processor on paper-scale agent counts, large enough that
+// shard dispatch never dominates a round.
+const stepGrain = 2048
 
 // Placement selects how agents are initially positioned.
 type Placement int
@@ -51,13 +76,23 @@ type Config struct {
 
 // Walks is a system of independent random walks on a fixed graph.
 type Walks struct {
-	g    *graph.Graph
-	rng  *xrand.RNG
+	g   *graph.Graph
+	cfg Config
+
+	// seed keys every per-(agent, round) stream; drawn once from the
+	// constructor's RNG so trial seeds keep controlling everything.
+	seed uint64
+	// churnThreshold is ChurnRate as a raw-uint64 comparison bound.
+	churnThreshold uint64
+
 	pos  []graph.Vertex
 	prev []graph.Vertex
-	cfg  Config
 
-	respawned []int // agents replaced by churn in the latest Step
+	respawned []int   // agents replaced by churn in the latest Step
+	shardResp [][]int // per-shard respawn scratch, merged in shard order
+	procs     int
+	stepFn    func(shard, lo, hi int)
+	churnFn   func(shard, lo, hi int)
 	round     int
 }
 
@@ -67,7 +102,9 @@ type Walks struct {
 // this hook to share neighbor choices with the push process.
 type ChooseFunc func(agent int, from graph.Vertex) (to graph.Vertex, ok bool)
 
-// New creates a walk system and places the agents.
+// New creates a walk system and places the agents. It consumes exactly one
+// value from rng — the master seed of the per-agent streams — so callers
+// constructing several systems from one RNG get independent walks.
 func New(g *graph.Graph, cfg Config, rng *xrand.RNG) (*Walks, error) {
 	if cfg.Count <= 0 {
 		return nil, fmt.Errorf("agents: Count must be positive, got %d", cfg.Count)
@@ -79,20 +116,35 @@ func New(g *graph.Graph, cfg Config, rng *xrand.RNG) (*Walks, error) {
 		return nil, fmt.Errorf("agents: ChurnRate must be in [0,1), got %g", cfg.ChurnRate)
 	}
 	w := &Walks{
-		g:    g,
-		rng:  rng,
-		pos:  make([]graph.Vertex, cfg.Count),
-		prev: make([]graph.Vertex, cfg.Count),
-		cfg:  cfg,
+		g:              g,
+		cfg:            cfg,
+		seed:           rng.Uint64(),
+		churnThreshold: xrand.BernoulliThreshold(cfg.ChurnRate),
+		pos:            make([]graph.Vertex, cfg.Count),
+		prev:           make([]graph.Vertex, cfg.Count),
 	}
+	w.procs = par.Procs()
+	w.stepFn = func(_, lo, hi int) { w.stepRangeNoChurn(lo, hi) }
+	w.churnFn = func(s, lo, hi int) { w.shardResp[s] = w.stepRangeChurn(lo, hi, w.shardResp[s][:0]) }
 	switch cfg.Placement {
 	case PlaceStationary:
-		for i := range w.pos {
-			w.pos[i] = w.stationaryVertex()
-		}
+		// O(1) alias sampling per agent (table cached on the graph),
+		// sharded: agent i draws from its round-0 stream, so placement is
+		// order-independent too.
+		alias := g.StationaryAlias()
+		pos := w.pos
+		par.Do(cfg.Count, stepGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := xrand.NewStream(w.seed, uint64(i), 0)
+				pos[i] = graph.Vertex(alias.SampleStream(&s))
+			}
+		})
 	case PlaceOnePerVertex:
 		if cfg.Count != g.N() {
 			return nil, fmt.Errorf("agents: PlaceOnePerVertex needs Count == N (%d != %d)", cfg.Count, g.N())
+		}
+		if g.MinDegree() == 0 {
+			return nil, fmt.Errorf("agents: PlaceOnePerVertex on a graph with isolated vertices")
 		}
 		for i := range w.pos {
 			w.pos[i] = graph.Vertex(i)
@@ -104,6 +156,9 @@ func New(g *graph.Graph, cfg Config, rng *xrand.RNG) (*Walks, error) {
 		for i, v := range cfg.Fixed {
 			if v < 0 || int(v) >= g.N() {
 				return nil, fmt.Errorf("agents: fixed position %d out of range", v)
+			}
+			if g.Degree(v) == 0 {
+				return nil, fmt.Errorf("agents: fixed position %d is an isolated vertex", v)
 			}
 			w.pos[i] = v
 		}
@@ -126,44 +181,206 @@ func (w *Walks) Pos(i int) graph.Vertex { return w.pos[i] }
 // Prev returns the vertex agent i occupied before the latest Step.
 func (w *Walks) Prev(i int) graph.Vertex { return w.prev[i] }
 
+// Positions returns the current vertex of every agent, indexed by agent
+// id. The slice aliases internal state: callers must treat it as read-only
+// and not retain it across Step calls.
+func (w *Walks) Positions() []graph.Vertex { return w.pos }
+
 // Respawned returns the ids of agents replaced by churn during the latest
-// Step. The slice is reused between rounds; callers must not retain it.
+// Step, in increasing id order. The slice is reused between rounds;
+// callers must not retain it.
 func (w *Walks) Respawned() []int { return w.respawned }
 
-// Step advances every walk one synchronous round. Agents are processed in
-// increasing id order, which fixes the paper's "ties broken by agent id"
-// ordering of simultaneous visits. choose, if non-nil, may override
-// individual destinations (see ChooseFunc); laziness and churn are applied
-// only to non-overridden agents.
+// Step advances every walk one synchronous round. Every draw of agent i
+// comes from the stream keyed (seed, i, round), so agents may be stepped
+// in any order or in parallel with identical results; the paper's "ties
+// broken by agent id" ordering is preserved because per-shard outputs are
+// merged in ascending shard (hence id) order. choose, if non-nil, may
+// override individual destinations (see ChooseFunc) and forces the serial
+// path; laziness and churn are applied only to non-overridden agents.
 func (w *Walks) Step(choose ChooseFunc) {
 	w.round++
 	w.respawned = w.respawned[:0]
-	for i := range w.pos {
-		from := w.pos[i]
-		w.prev[i] = from
-		if choose != nil {
-			if to, ok := choose(i, from); ok {
-				w.pos[i] = to
-				continue
-			}
+	// Swap the position buffers: the step loops read prev (last round's
+	// positions) and write every entry of pos, saving a per-agent store.
+	w.prev, w.pos = w.pos, w.prev
+	if choose != nil {
+		w.stepSerial(choose)
+		return
+	}
+	n := len(w.pos)
+	if w.cfg.ChurnRate <= 0 {
+		if w.procs == 1 || n <= stepGrain {
+			w.stepRangeNoChurn(0, n) // skip dispatch entirely
+			return
 		}
-		if w.cfg.ChurnRate > 0 && w.rng.Bernoulli(w.cfg.ChurnRate) {
-			w.pos[i] = w.stationaryVertex()
-			w.respawned = append(w.respawned, i)
-			continue
-		}
-		if w.cfg.Lazy && w.rng.Bernoulli(0.5) {
-			continue // stay put
-		}
-		nb := w.g.Neighbors(from)
-		w.pos[i] = nb[w.rng.IntN(len(nb))]
+		par.Do(n, stepGrain, w.stepFn)
+		return
+	}
+	shards := par.Shards(n, stepGrain)
+	for len(w.shardResp) < shards {
+		w.shardResp = append(w.shardResp, nil)
+	}
+	par.DoN(shards, n, w.churnFn)
+	for _, b := range w.shardResp[:shards] {
+		w.respawned = append(w.respawned, b...)
 	}
 }
 
-// stationaryVertex samples a vertex from the stationary distribution by
-// picking a uniform edge endpoint.
-func (w *Walks) stationaryVertex() graph.Vertex {
-	return w.g.EndpointOwner(w.rng.IntN(w.g.EndpointCount()))
+// stepRangeNoChurn advances agents [lo, hi) along simple or lazy walks.
+// This is the simulator's innermost loop: one packed-index load and one
+// counter-based draw per agent (two for lazy walks, none for degree-1
+// vertices). The per-agent stream base advances incrementally — one add
+// per agent — which is why Step's buffer swap matters: the loop reads prev
+// and unconditionally writes pos.
+func (w *Walks) stepRangeNoChurn(lo, hi int) {
+	idx := w.g.WalkIndex()
+	if idx == nil {
+		// Graph too large to pack; same draws through the CSR slices.
+		w.stepRangeGeneral(lo, hi)
+		return
+	}
+	nbrs := w.g.NeighborsRaw()
+	pos, prev := w.pos, w.prev
+	_ = pos[hi-1] // hoist the bounds checks out of the loop
+	_ = prev[hi-1]
+	base := xrand.MixBase(w.seed, uint64(lo), uint64(w.round))
+	if w.cfg.Lazy {
+		// One draw funds both decisions: the stay coin from the top bit,
+		// the neighbor index from the (disjoint) low 32 bits.
+		for i := lo; i < hi; i++ {
+			from := prev[i]
+			to := from // stay put on a set coin
+			if u := xrand.Mix(base); u>>63 == 0 {
+				word := idx[from]
+				if graph.WalkDegreeOne(word) {
+					to = graph.WalkOnlyNeighbor(word, nbrs)
+				} else {
+					to = graph.WalkTarget32(word, uint32(u), nbrs)
+				}
+			}
+			pos[i] = to
+			base += xrand.UnitStride
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		from := prev[i]
+		word := idx[from]
+		var to graph.Vertex
+		if graph.WalkDegreeOne(word) {
+			to = graph.WalkOnlyNeighbor(word, nbrs)
+		} else {
+			to = graph.WalkTarget(word, xrand.Mix(base), nbrs)
+		}
+		pos[i] = to
+		base += xrand.UnitStride
+	}
+}
+
+// stepRangeChurn is the sharded walk step with churn enabled: each agent
+// first draws its death coin, then (if alive) walks as usual. Respawn ids
+// are appended to resp in increasing order within the shard.
+func (w *Walks) stepRangeChurn(lo, hi int, resp []int) []int {
+	alias := w.g.StationaryAlias()
+	idx, nbrs := w.g.WalkIndex(), w.g.NeighborsRaw()
+	seed, round := w.seed, uint64(w.round)
+	for i := lo; i < hi; i++ {
+		from := w.prev[i]
+		s := xrand.NewStream(seed, uint64(i), round)
+		if s.Uint64() < w.churnThreshold {
+			w.pos[i] = graph.Vertex(alias.SampleStream(&s))
+			resp = append(resp, i)
+			continue
+		}
+		w.stepAgentTail(i, from, &s, idx, nbrs)
+	}
+	return resp
+}
+
+// stepRangeGeneral mirrors stepRangeNoChurn through Graph.Neighbors for
+// graphs without a packed walk index, consuming identical draws.
+func (w *Walks) stepRangeGeneral(lo, hi int) {
+	seed, round := w.seed, uint64(w.round)
+	for i := lo; i < hi; i++ {
+		from := w.prev[i]
+		s := xrand.NewStream(seed, uint64(i), round)
+		u := s.Uint64()
+		if w.cfg.Lazy {
+			if u>>63 != 0 {
+				w.pos[i] = from
+				continue
+			}
+			nb := w.g.Neighbors(from)
+			w.pos[i] = nb[xrand.ReduceDeg32(uint32(u), len(nb))]
+			continue
+		}
+		nb := w.g.Neighbors(from)
+		if len(nb) == 1 {
+			w.pos[i] = nb[0]
+			continue
+		}
+		w.pos[i] = nb[xrand.ReduceDeg(u, len(nb))]
+	}
+}
+
+// stepAgentTail finishes one agent's step after any churn draw: one more
+// draw funding the lazy coin (top bit, if configured) and the neighbor
+// index. It always writes pos[i] (the buffers were swapped at the top of
+// Step). idx and nbrs are the caller-hoisted walk index and CSR neighbor
+// array (idx may be nil for unpacked graphs).
+func (w *Walks) stepAgentTail(i int, from graph.Vertex, s *xrand.Stream, idx []uint64, nbrs []graph.Vertex) {
+	u := s.Uint64()
+	if w.cfg.Lazy && u>>63 != 0 {
+		w.pos[i] = from
+		return
+	}
+	if idx != nil {
+		word := idx[from]
+		if graph.WalkDegreeOne(word) {
+			w.pos[i] = graph.WalkOnlyNeighbor(word, nbrs)
+			return
+		}
+		if w.cfg.Lazy {
+			w.pos[i] = graph.WalkTarget32(word, uint32(u), nbrs)
+		} else {
+			w.pos[i] = graph.WalkTarget(word, u, nbrs)
+		}
+		return
+	}
+	nb := w.g.Neighbors(from)
+	if len(nb) == 1 {
+		w.pos[i] = nb[0]
+		return
+	}
+	if w.cfg.Lazy {
+		w.pos[i] = nb[xrand.ReduceDeg32(uint32(u), len(nb))]
+		return
+	}
+	w.pos[i] = nb[xrand.ReduceDeg(u, len(nb))]
+}
+
+// stepSerial is the ChooseFunc path: the hook may touch shared state, so
+// agents run in id order on one goroutine. Non-overridden agents draw from
+// the same per-agent streams as the parallel path.
+func (w *Walks) stepSerial(choose ChooseFunc) {
+	idx, nbrs := w.g.WalkIndex(), w.g.NeighborsRaw()
+	seed, round := w.seed, uint64(w.round)
+	for i := range w.pos {
+		from := w.prev[i]
+		if to, ok := choose(i, from); ok {
+			w.pos[i] = to
+			continue
+		}
+		s := xrand.NewStream(seed, uint64(i), round)
+		if w.cfg.ChurnRate > 0 && s.Uint64() < w.churnThreshold {
+			alias := w.g.StationaryAlias()
+			w.pos[i] = graph.Vertex(alias.SampleStream(&s))
+			w.respawned = append(w.respawned, i)
+			continue
+		}
+		w.stepAgentTail(i, from, &s, idx, nbrs)
+	}
 }
 
 // Occupancy is an epoch-stamped per-vertex counter. Resetting between

@@ -144,6 +144,13 @@ func (s *Set) NextClear(from int) int {
 	}
 }
 
+// Words exposes the backing words (bit i lives at words[i/64], bit i%64).
+// The slice aliases internal storage: callers may read it — e.g. to iterate
+// set bits shard-by-shard without per-bit calls — but must not modify it.
+// Bits at positions >= Len() in the final word are not guaranteed clear
+// unless only Set/Clear/Reset were used.
+func (s *Set) Words() []uint64 { return s.words }
+
 // ForEach calls fn for every set bit in increasing order.
 func (s *Set) ForEach(fn func(i int)) {
 	for wi, w := range s.words {

@@ -9,14 +9,34 @@
 // push, push-pull, visit-exchange, and the hybrid; all agents informed for
 // meet-exchange). Run drives a Process to completion and records the
 // broadcast time.
+//
+// # Deterministic parallelism
+//
+// Rounds execute on a deterministic parallel engine with a counter-based
+// randomness contract: every draw a unit (vertex or agent) makes in round
+// t comes from the stream keyed (protocol seed, unit id, t) — see
+// xrand.NewStream — so no draw depends on execution order or on how much
+// randomness other units consumed. Each round is a parallel phase over
+// contiguous, ascending-id shards (internal/par) whose outputs land in
+// per-unit slots or per-shard buffers, followed by a serial merge that
+// commits shard outputs in ascending shard order, realizing the paper's
+// "ties broken by agent id" convention. Together these make every Result
+// — rounds, messages, and the full History — bit-identical for a given
+// seed regardless of GOMAXPROCS; the determinism tests pin this for every
+// protocol at GOMAXPROCS 1, 2, and 8. Protocol constructors consume
+// exactly one seed value per independent mechanism from the trial RNG, so
+// RunMany's Derive(seed, trial) streams fully determine each trial.
 package core
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rumor/internal/graph"
+	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
 
@@ -77,8 +97,23 @@ func DefaultMaxRounds(g *graph.Graph) int {
 	return n * n
 }
 
+// histPool holds reusable History scratch buffers. Run appends rounds into
+// pooled scratch — zero allocations per round once a buffer has grown to a
+// workload's typical length — and copies the exact-size result out at the
+// end, so Result.History is owned by the caller while the capacity stays
+// pooled. DefaultMaxRounds is a quadratic safety bound, not an estimate,
+// which is why Run does not reserve maxRounds entries directly.
+var histPool = sync.Pool{
+	New: func() any {
+		b := make([]int, 0, 1024)
+		return &b
+	},
+}
+
 // Run drives p until Done or maxRounds (DefaultMaxRounds-bounded when
-// maxRounds <= 0) and returns the outcome.
+// maxRounds <= 0) and returns the outcome. The per-round loop performs no
+// allocations: History accumulates in pooled scratch and is copied out
+// exact-size once at the end.
 func Run(g *graph.Graph, p Process, maxRounds int) Result {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(g)
@@ -88,21 +123,23 @@ func Run(g *graph.Graph, p Process, maxRounds int) Result {
 		Graph:          g.Name(),
 		AllAgentsRound: -1,
 	}
-	if ap, ok := p.(agentTracker); ok {
-		if ap.AllAgentsInformed() {
-			res.AllAgentsRound = 0
-		}
+	hb := histPool.Get().(*[]int)
+	hist := (*hb)[:0]
+	tracker, hasTracker := p.(agentTracker)
+	if hasTracker && tracker.AllAgentsInformed() {
+		res.AllAgentsRound = 0
 	}
-	res.History = append(res.History, p.InformedCount())
+	hist = append(hist, p.InformedCount())
 	for !p.Done() && p.Round() < maxRounds {
 		p.Step()
-		res.History = append(res.History, p.InformedCount())
-		if res.AllAgentsRound < 0 {
-			if ap, ok := p.(agentTracker); ok && ap.AllAgentsInformed() {
-				res.AllAgentsRound = p.Round()
-			}
+		hist = append(hist, p.InformedCount())
+		if res.AllAgentsRound < 0 && hasTracker && tracker.AllAgentsInformed() {
+			res.AllAgentsRound = p.Round()
 		}
 	}
+	res.History = append(make([]int, 0, len(hist)), hist...)
+	*hb = hist[:0]
+	histPool.Put(hb)
 	res.Rounds = p.Round()
 	res.Completed = p.Done()
 	res.Messages = p.Messages()
@@ -126,30 +163,60 @@ type sourced interface {
 // per trial.
 type Factory func(rng *xrand.RNG) (Process, error)
 
-// RunMany executes `trials` independent runs in parallel, deriving trial
-// seeds from seed, and returns results in trial order.
+// RunMany executes `trials` independent runs on a GOMAXPROCS-sized worker
+// pool, deriving trial seeds from seed, and returns results in trial
+// order. Trial t's stream is xrand.New(xrand.Derive(seed, t)) regardless
+// of scheduling, so results are identical at any parallelism; within each
+// trial the protocols additionally shard rounds across internal/par (see
+// the package comment), and the two levels self-balance because shard
+// dispatch never blocks on a busy pool.
 func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64) ([]Result, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
 	}
+	// Warm the graph's shared sampling caches once, outside the race, and
+	// let round sharding track any GOMAXPROCS change since the last sweep.
+	g.WalkIndex()
+	g.StationaryAlias()
+	par.Refresh()
 	results := make([]Result, trials)
 	errs := make([]error, trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for t := 0; t < trials; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	workers := maxParallel()
+	if workers > trials {
+		workers = trials
+	}
+	if workers == 1 {
+		// Single worker: run trials inline, skipping goroutine dispatch.
+		for t := 0; t < trials; t++ {
 			rng := xrand.New(xrand.Derive(seed, t))
 			p, err := factory(rng)
 			if err != nil {
-				errs[t] = err
-				return
+				return nil, err
 			}
 			results[t] = Run(g, p, maxRounds)
-		}(t)
+		}
+		return results, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
+				rng := xrand.New(xrand.Derive(seed, t))
+				p, err := factory(rng)
+				if err != nil {
+					errs[t] = err
+					continue
+				}
+				results[t] = Run(g, p, maxRounds)
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -160,10 +227,10 @@ func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64
 	return results, nil
 }
 
+// maxParallel sizes the trial pool to the machine: one worker per
+// available processor.
 func maxParallel() int {
-	// Bounded parallelism; GOMAXPROCS-sized pools are handled by the
-	// runtime scheduler, so a fixed generous bound is fine here.
-	return 8
+	return runtime.GOMAXPROCS(0)
 }
 
 // AgentCount converts the paper's agent density α into a concrete |A| =
@@ -179,6 +246,9 @@ func AgentCount(n int, alpha float64) int {
 func checkSource(g *graph.Graph, s graph.Vertex) error {
 	if s < 0 || int(s) >= g.N() {
 		return fmt.Errorf("core: source %d out of range [0,%d)", s, g.N())
+	}
+	if g.Degree(s) == 0 {
+		return fmt.Errorf("core: source %d is isolated (degree 0)", s)
 	}
 	if g.N() < 2 {
 		return fmt.Errorf("core: graph too small (n=%d)", g.N())

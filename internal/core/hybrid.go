@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rumor/internal/agents"
 	"rumor/internal/bitset"
 	"rumor/internal/graph"
+	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
 
@@ -19,20 +21,38 @@ import (
 // On every Fig. 1 family the hybrid inherits the faster mechanism:
 // logarithmic on the star and double star (agents), and logarithmic on the
 // heavy and Siamese trees (push-pull).
+//
+// Both mechanisms run on the deterministic parallel engine: exchange draws
+// come from per-(vertex, round) streams, walk draws from per-(agent,
+// round) streams, and all commits happen in serial merges ordered by
+// vertex/agent id — bit-identical results for a given seed at any
+// GOMAXPROCS.
 type Hybrid struct {
 	g     *graph.Graph
-	rng   *xrand.RNG
 	src   graph.Vertex
 	walks *agents.Walks
 	opts  AgentOptions
 
+	seed    uint64 // keys the push-pull exchange streams
+	sampler neighborSampler
+
 	informedV *bitset.Set
 	informedA *bitset.Set
 	countV    int
+	countA    int
 	pendingV  []graph.Vertex
-	newlyA    []int
-	round     int
-	messages  int64
+	targets   []graph.Vertex
+
+	shardV     shardBufs[graph.Vertex]
+	shardA     shardBufs[int32]
+	bufsV      [][]graph.Vertex
+	bufsA      [][]int32
+	procs      int
+	exchangeFn func(shard, lo, hi int)
+	depositFn  func(shard, lo, hi int)
+	pickupFn   func(shard, lo, hi int)
+	round      int
+	messages   int64
 }
 
 var _ Process = (*Hybrid)(nil)
@@ -48,18 +68,24 @@ func NewHybrid(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts AgentOptions
 	}
 	h := &Hybrid{
 		g:         g,
-		rng:       rng,
 		src:       s,
 		walks:     w,
 		opts:      opts,
+		seed:      rng.Uint64(),
+		sampler:   newNeighborSampler(g),
 		informedV: bitset.New(g.N()),
 		informedA: bitset.New(w.N()),
 		countV:    1,
 	}
+	h.procs = par.Procs()
+	h.exchangeFn = h.exchangeShard
+	h.depositFn = h.depositShard
+	h.pickupFn = h.pickupShard
 	h.informedV.Set(int(s))
 	for i := 0; i < w.N(); i++ {
 		if w.Pos(i) == s {
 			h.informedA.Set(i)
+			h.countA++
 		}
 	}
 	return h, nil
@@ -78,7 +104,7 @@ func (h *Hybrid) Done() bool { return h.countV == h.g.N() }
 func (h *Hybrid) InformedCount() int { return h.countV }
 
 // AllAgentsInformed implements the agentTracker interface.
-func (h *Hybrid) AllAgentsInformed() bool { return h.informedA.Full() }
+func (h *Hybrid) AllAgentsInformed() bool { return h.countA == h.walks.N() }
 
 // Messages implements Process: n neighbor calls + |A| agent steps per round.
 func (h *Hybrid) Messages() int64 { return h.messages }
@@ -90,13 +116,24 @@ func (h *Hybrid) Source() graph.Vertex { return h.src }
 func (h *Hybrid) Step() {
 	h.round++
 
-	// Phase 1: push-pull exchanges against the pre-round informed set.
+	// Phase 1: push-pull exchanges against the pre-round informed set,
+	// drawn in parallel from per-vertex streams, merged in vertex order.
 	h.pendingV = h.pendingV[:0]
 	n := h.g.N()
+	h.messages += int64(n)
+	if h.targets == nil {
+		h.targets = make([]graph.Vertex, n)
+	}
+	if shardsFor(n, senderGrain, h.procs) == 1 {
+		h.exchangeShard(0, 0, n)
+	} else {
+		par.Do(n, senderGrain, h.exchangeFn)
+	}
 	for u := 0; u < n; u++ {
-		nb := h.g.Neighbors(graph.Vertex(u))
-		v := nb[h.rng.IntN(len(nb))]
-		h.messages++
+		v := h.targets[u]
+		if v < 0 {
+			continue
+		}
 		iu, iv := h.informedV.Test(u), h.informedV.Test(int(v))
 		switch {
 		case iu && !iv:
@@ -109,19 +146,30 @@ func (h *Hybrid) Step() {
 	// Phase 2: agent moves with visit-exchange semantics. Agents informed
 	// in a previous round inform the vertex they land on this round.
 	h.walks.Step(nil)
-	h.messages += int64(h.walks.N())
+	na := h.walks.N()
+	h.messages += int64(na)
 	for _, id := range h.walks.Respawned() {
-		h.informedA.Clear(id)
+		if h.informedA.Test(id) {
+			h.informedA.Clear(id)
+			h.countA--
+		}
 	}
 	if h.opts.Observer != nil {
-		for i := 0; i < h.walks.N(); i++ {
+		for i := 0; i < na; i++ {
 			h.opts.Observer(h.round, h.walks.Prev(i), h.walks.Pos(i))
 		}
 	}
-	na := h.walks.N()
-	for i := 0; i < na; i++ {
-		if h.informedA.Test(i) {
-			h.pendingV = append(h.pendingV, h.walks.Pos(i))
+	words := len(h.informedA.Words())
+	if h.countA > 0 && h.countV < n {
+		shards := shardsFor(words, wordGrain, h.procs)
+		h.bufsV = h.shardV.acquire(shards)
+		if shards == 1 {
+			h.depositShard(0, 0, words)
+		} else {
+			par.DoN(shards, words, h.depositFn)
+		}
+		for _, buf := range h.bufsV {
+			h.pendingV = append(h.pendingV, buf...)
 		}
 	}
 
@@ -134,13 +182,87 @@ func (h *Hybrid) Step() {
 	}
 
 	// Agents standing on an informed vertex (old or new) become informed.
-	h.newlyA = h.newlyA[:0]
-	for i := 0; i < na; i++ {
-		if !h.informedA.Test(i) && h.informedV.Test(int(h.walks.Pos(i))) {
-			h.newlyA = append(h.newlyA, i)
+	if h.countA < na {
+		shards := shardsFor(words, wordGrain, h.procs)
+		h.bufsA = h.shardA.acquire(shards)
+		if shards == 1 {
+			h.pickupShard(0, 0, words)
+		} else {
+			par.DoN(shards, words, h.pickupFn)
+		}
+		for _, buf := range h.bufsA {
+			for _, i := range buf {
+				h.informedA.Set(int(i))
+				h.countA++
+			}
 		}
 	}
-	for _, i := range h.newlyA {
-		h.informedA.Set(i)
+}
+
+// exchangeShard draws the round's push-pull neighbor choice for vertices
+// [lo, hi) into the targets scratch, with the incremental stream base and
+// inlined sampling of the walk inner loop.
+func (h *Hybrid) exchangeShard(_, lo, hi int) {
+	round := uint64(h.round)
+	idx, nbrs := h.sampler.idx, h.sampler.nbrs
+	if idx == nil {
+		for u := lo; u < hi; u++ {
+			s := xrand.NewStream(h.seed, uint64(u), round)
+			h.targets[u] = h.sampler.sample(graph.Vertex(u), &s)
+		}
+		return
 	}
+	targets := h.targets[:hi]
+	base := xrand.MixBase(h.seed, uint64(lo), round)
+	for u := lo; u < hi; u++ {
+		word := idx[u]
+		if graph.WalkDegreeOne(word) {
+			targets[u] = graph.WalkOnlyNeighbor(word, nbrs)
+		} else if graph.WalkDegreeZero(word) {
+			targets[u] = -1 // isolated vertex: no call
+		} else {
+			targets[u] = graph.WalkTarget(word, xrand.Mix(base), nbrs)
+		}
+		base += xrand.UnitStride
+	}
+}
+
+// depositShard collects the positions of previously informed agents in
+// bitset words [lo, hi) whose vertex is not yet informed.
+func (h *Hybrid) depositShard(shard, lo, hi int) {
+	aw := h.informedA.Words()
+	pos := h.walks.Positions()
+	buf := h.bufsV[shard]
+	for wi := lo; wi < hi; wi++ {
+		for wd := aw[wi]; wd != 0; wd &= wd - 1 {
+			i := wi<<6 + bits.TrailingZeros64(wd)
+			p := pos[i]
+			if !h.informedV.Test(int(p)) {
+				buf = append(buf, p)
+			}
+		}
+	}
+	h.bufsV[shard] = buf
+}
+
+// pickupShard collects uninformed agents in bitset words [lo, hi) standing
+// on an informed vertex.
+func (h *Hybrid) pickupShard(shard, lo, hi int) {
+	aw := h.informedA.Words()
+	pos := h.walks.Positions()
+	na := h.walks.N()
+	buf := h.bufsA[shard]
+	for wi := lo; wi < hi; wi++ {
+		inv := ^aw[wi]
+		if rem := na - wi<<6; rem < 64 {
+			inv &= 1<<uint(rem) - 1
+		}
+		for ; inv != 0; inv &= inv - 1 {
+			i := wi<<6 + bits.TrailingZeros64(inv)
+			if h.informedV.Test(int(pos[i])) {
+				buf = append(buf, int32(i))
+			}
+		}
+	}
+	h.bufsA[shard] = buf
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"rumor/internal/graph"
+)
+
+// epochMark is a per-vertex boolean reset in O(1) per round by bumping an
+// epoch, used for "does this vertex currently host an informed agent"
+// queries. Unlike agents.Occupancy it stores no counts and keeps no
+// touched list: marking is a single unconditional store, which also makes
+// it safe to mark from concurrent shards via markAtomic (all writers store
+// the same epoch value through the atomic API, and readers run strictly
+// after the parallel phase's barrier).
+type epochMark struct {
+	stamp []uint32
+	epoch uint32
+}
+
+func newEpochMark(n int) *epochMark {
+	return &epochMark{stamp: make([]uint32, n)}
+}
+
+// next invalidates all marks. The first usable epoch is 1; on the (never
+// in practice) epoch wrap the stamps are cleared to keep queries exact.
+func (m *epochMark) next() {
+	m.epoch++
+	if m.epoch == 0 {
+		clear(m.stamp)
+		m.epoch = 1
+	}
+}
+
+// markAtomic marks v from a parallel shard.
+func (m *epochMark) markAtomic(v graph.Vertex) {
+	atomic.StoreUint32(&m.stamp[v], m.epoch)
+}
+
+// mark marks v from serial code.
+func (m *epochMark) mark(v graph.Vertex) { m.stamp[v] = m.epoch }
+
+// marked reports whether v was marked since the last next.
+func (m *epochMark) marked(v graph.Vertex) bool { return m.stamp[v] == m.epoch }

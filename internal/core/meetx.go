@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rumor/internal/agents"
 	"rumor/internal/bitset"
 	"rumor/internal/graph"
+	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
 
@@ -19,6 +21,12 @@ import (
 // On bipartite graphs two walks can have permanently disjoint parities, so
 // the paper (and this implementation, with LazyAuto) uses lazy walks there;
 // T_meetx would otherwise be infinite with positive probability.
+//
+// Rounds run on the deterministic parallel engine: the walk step draws
+// per-(agent, round) streams, informed-agent occupancy is marked serially,
+// and the meeting scan shards over the uninformed agents (reading the
+// occupancy stamps only), merging finds in ascending agent-id order —
+// bit-identical results for a given seed at any GOMAXPROCS.
 type MeetExchange struct {
 	g     *graph.Graph
 	src   graph.Vertex
@@ -26,9 +34,14 @@ type MeetExchange struct {
 	opts  AgentOptions
 
 	informedA    *bitset.Set
-	occInf       *agents.Occupancy // vertices holding >=1 previously-informed agent
+	occInf       *epochMark // vertices holding >=1 previously-informed agent
 	countA       int
 	newlyA       []int
+	shardA       shardBufs[int32]
+	bufsA        [][]int32
+	procs        int
+	markFn       func(shard, lo, hi int)
+	meetFn       func(shard, lo, hi int)
 	sourceActive bool
 	round        int
 	messages     int64
@@ -51,8 +64,11 @@ func NewMeetExchange(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts AgentO
 		walks:     w,
 		opts:      opts,
 		informedA: bitset.New(w.N()),
-		occInf:    agents.NewOccupancy(g.N()),
+		occInf:    newEpochMark(g.N()),
 	}
+	m.procs = par.Procs()
+	m.markFn = m.markShard
+	m.meetFn = m.meetShard
 	// Round zero: agents standing on the source are informed; if none, the
 	// source stays active until its first visitor.
 	for i := 0; i < w.N(); i++ {
@@ -97,7 +113,8 @@ func (m *MeetExchange) SourceActive() bool { return m.sourceActive }
 func (m *MeetExchange) Step() {
 	m.round++
 	m.walks.Step(nil)
-	m.messages += int64(m.walks.N())
+	na := m.walks.N()
+	m.messages += int64(na)
 	for _, id := range m.walks.Respawned() {
 		if m.informedA.Test(id) {
 			m.informedA.Clear(id)
@@ -105,31 +122,51 @@ func (m *MeetExchange) Step() {
 		}
 	}
 	if m.opts.Observer != nil {
-		for i := 0; i < m.walks.N(); i++ {
+		for i := 0; i < na; i++ {
 			m.opts.Observer(m.round, m.walks.Prev(i), m.walks.Pos(i))
 		}
 	}
-	na := m.walks.N()
+	pos := m.walks.Positions()
+
 	// Mark vertices occupied by agents informed in a previous round.
-	m.occInf.NextRound()
-	for i := 0; i < na; i++ {
-		if m.informedA.Test(i) {
-			m.occInf.Add(m.walks.Pos(i))
+	// Marking stores one epoch value per agent, so concurrent shards may
+	// write the same slot through markAtomic; queries run after the
+	// barrier.
+	m.occInf.next()
+	aw := m.informedA.Words()
+	words := len(aw)
+	if m.countA > 0 && m.countA < na {
+		if shards := shardsFor(words, wordGrain, m.procs); shards == 1 {
+			m.markShardSerial(0, words)
+		} else {
+			par.DoN(shards, words, m.markFn)
 		}
 	}
-	// Meetings: uninformed agents co-located with previously informed ones.
+
+	// Meetings: uninformed agents co-located with previously informed
+	// ones, collected shard-by-shard in agent-id order.
 	m.newlyA = m.newlyA[:0]
-	for i := 0; i < na; i++ {
-		if !m.informedA.Test(i) && m.occInf.Count(m.walks.Pos(i)) > 0 {
-			m.newlyA = append(m.newlyA, i)
+	if m.countA > 0 && m.countA < na {
+		shards := shardsFor(words, wordGrain, m.procs)
+		m.bufsA = m.shardA.acquire(shards)
+		if shards == 1 {
+			m.meetShard(0, 0, words)
+		} else {
+			par.DoN(shards, words, m.meetFn)
+		}
+		for _, buf := range m.bufsA {
+			for _, i := range buf {
+				m.newlyA = append(m.newlyA, int(i))
+			}
 		}
 	}
+
 	// Source rule: while active, every agent visiting s this round becomes
 	// informed (all simultaneous visitors), then the source goes silent.
 	if m.sourceActive {
 		visited := false
 		for i := 0; i < na; i++ {
-			if m.walks.Pos(i) == m.src {
+			if pos[i] == m.src {
 				visited = true
 				m.newlyA = append(m.newlyA, i)
 			}
@@ -146,4 +183,51 @@ func (m *MeetExchange) Step() {
 			m.countA++
 		}
 	}
+}
+
+// markShard stamps the current vertex of every informed agent in bitset
+// words [lo, hi), atomically (it is bound only to the sharded path).
+func (m *MeetExchange) markShard(_, lo, hi int) {
+	aw := m.informedA.Words()
+	pos := m.walks.Positions()
+	for wi := lo; wi < hi; wi++ {
+		for wd := aw[wi]; wd != 0; wd &= wd - 1 {
+			m.occInf.markAtomic(pos[wi<<6+bits.TrailingZeros64(wd)])
+		}
+	}
+}
+
+// markShardSerial is markShard with plain stores, for the single-shard
+// path.
+func (m *MeetExchange) markShardSerial(lo, hi int) {
+	aw := m.informedA.Words()
+	pos := m.walks.Positions()
+	for wi := lo; wi < hi; wi++ {
+		for wd := aw[wi]; wd != 0; wd &= wd - 1 {
+			m.occInf.mark(pos[wi<<6+bits.TrailingZeros64(wd)])
+		}
+	}
+}
+
+// meetShard scans uninformed agents in bitset words [lo, hi) and collects
+// those standing on a vertex visited by a previously informed agent. It
+// only reads shared state; Step's serial merge commits.
+func (m *MeetExchange) meetShard(shard, lo, hi int) {
+	aw := m.informedA.Words()
+	pos := m.walks.Positions()
+	na := m.walks.N()
+	buf := m.bufsA[shard]
+	for wi := lo; wi < hi; wi++ {
+		inv := ^aw[wi]
+		if rem := na - wi<<6; rem < 64 {
+			inv &= 1<<uint(rem) - 1
+		}
+		for ; inv != 0; inv &= inv - 1 {
+			i := wi<<6 + bits.TrailingZeros64(inv)
+			if m.occInf.marked(pos[i]) {
+				buf = append(buf, int32(i))
+			}
+		}
+	}
+	m.bufsA[shard] = buf
 }

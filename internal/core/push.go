@@ -5,6 +5,7 @@ import (
 
 	"rumor/internal/bitset"
 	"rumor/internal/graph"
+	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
 
@@ -14,21 +15,55 @@ type PushOptions struct {
 	// modeling the random link failures of Elsässer & Sauerwald [22] that
 	// the paper's Lemma 4(a) relies on. Zero means reliable links.
 	FailureProb float64
-	// Observer, if non-nil, receives every neighbor call.
+	// Observer, if non-nil, receives every neighbor call. Setting an
+	// observer forces the serial all-senders path (callbacks arrive in
+	// sender order, one per informed vertex) but does not change any
+	// random draw or outcome.
 	Observer MoveObserver
 }
 
 // Push is the classic randomized rumor-spreading protocol (Section 3): in
 // every round, every vertex informed in a previous round samples a uniform
 // random neighbor and informs it.
+//
+// The round is executed by the deterministic parallel engine: sender u's
+// draws in round t come from the stream keyed (seed, u, t), shards draw
+// concurrently, and newly informed vertices are committed in a serial
+// merge — bit-identical results at any GOMAXPROCS.
+//
+// Because streams are counter-based, the engine may skip senders whose
+// entire neighborhood is already informed: their sends provably cannot
+// change state, and skipping their draws shifts nobody else's randomness.
+// The protocol starts in a dense mode where every informed vertex draws —
+// optimal while the rumor grows every round — and switches to boundary
+// mode the first time a round informs nobody (the signature of the
+// Ω(n log n) coupon-collector phases on stars), after which only informed
+// vertices with an uninformed neighbor draw. On the star this turns
+// Θ(n) work per waiting round into Θ(1). Messages always count one send
+// per informed vertex, as the protocol defines.
 type Push struct {
 	g        *graph.Graph
-	rng      *xrand.RNG
 	src      graph.Vertex
 	opts     PushOptions
+	seed     uint64
+	failTh   uint64 // FailureProb as a raw-uint64 threshold
+	sampler  neighborSampler
 	informed *bitset.Set
-	frontier []graph.Vertex // all informed vertices; senders each round
+	frontier []graph.Vertex // all informed vertices, in discovery order
+
+	// Boundary bookkeeping, built lazily after repeated stagnant rounds
+	// (never in observer mode).
+	boundary  bool
+	stagnant  int
+	active    []graph.Vertex // informed senders with >= 1 uninformed neighbor
+	activeIdx []int32        // position of v in active, -1 if absent
+	remUninf  []int32        // per-vertex count of uninformed neighbors
+
+	procs    int
+	senders  []graph.Vertex // the slice drawShard iterates (frontier or active)
+	targets  []graph.Vertex // per-sender draw results; -1 marks a failed send
 	pending  []graph.Vertex
+	drawFn   func(shard, lo, hi int)
 	round    int
 	messages int64
 }
@@ -36,6 +71,7 @@ type Push struct {
 var _ Process = (*Push)(nil)
 
 // NewPush builds a push process with the rumor placed on s in round zero.
+// It consumes exactly one value from rng (the protocol's stream seed).
 func NewPush(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushOptions) (*Push, error) {
 	if err := checkSource(g, s); err != nil {
 		return nil, err
@@ -45,14 +81,72 @@ func NewPush(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushOptions) (
 	}
 	p := &Push{
 		g:        g,
-		rng:      rng,
 		src:      s,
 		opts:     opts,
+		seed:     rng.Uint64(),
+		failTh:   xrand.BernoulliThreshold(opts.FailureProb),
+		sampler:  newNeighborSampler(g),
 		informed: bitset.New(g.N()),
+		frontier: make([]graph.Vertex, 0, g.N()),
 	}
+	p.procs = par.Procs()
+	p.drawFn = p.drawShard
 	p.informed.Set(int(s))
 	p.frontier = append(p.frontier, s)
 	return p, nil
+}
+
+// enterBoundary builds the boundary-sender structures from the current
+// informed set: one O(n + Σ deg(informed)) pass, paid once.
+func (p *Push) enterBoundary() {
+	n := p.g.N()
+	p.activeIdx = make([]int32, n)
+	p.remUninf = make([]int32, n)
+	for v := 0; v < n; v++ {
+		p.activeIdx[v] = -1
+		p.remUninf[v] = int32(p.g.Degree(graph.Vertex(v)))
+	}
+	for _, w := range p.frontier {
+		for _, x := range p.g.Neighbors(w) {
+			p.remUninf[x]--
+		}
+	}
+	for _, w := range p.frontier {
+		if p.remUninf[w] > 0 {
+			p.activeIdx[w] = int32(len(p.active))
+			p.active = append(p.active, w)
+		}
+	}
+	p.boundary = true
+}
+
+// informVertex commits v as informed. In boundary mode it also maintains
+// the active set: v's neighbors each lose an uninformed neighbor (possibly
+// retiring them), and v itself starts sending if any neighbor is still
+// uninformed.
+func (p *Push) informVertex(v graph.Vertex) {
+	p.informed.Set(int(v))
+	p.frontier = append(p.frontier, v)
+	if !p.boundary {
+		return
+	}
+	for _, x := range p.g.Neighbors(v) {
+		p.remUninf[x]--
+		if p.remUninf[x] == 0 {
+			if i := p.activeIdx[x]; i >= 0 {
+				// Swap-remove x from active.
+				last := p.active[len(p.active)-1]
+				p.active[i] = last
+				p.activeIdx[last] = i
+				p.active = p.active[:len(p.active)-1]
+				p.activeIdx[x] = -1
+			}
+		}
+	}
+	if p.remUninf[v] > 0 {
+		p.activeIdx[v] = int32(len(p.active))
+		p.active = append(p.active, v)
+	}
 }
 
 // Name implements Process.
@@ -62,10 +156,10 @@ func (p *Push) Name() string { return "push" }
 func (p *Push) Round() int { return p.round }
 
 // Done implements Process.
-func (p *Push) Done() bool { return p.informed.Full() }
+func (p *Push) Done() bool { return len(p.frontier) == p.g.N() }
 
 // InformedCount implements Process.
-func (p *Push) InformedCount() int { return p.informed.Count() }
+func (p *Push) InformedCount() int { return len(p.frontier) }
 
 // Messages implements Process.
 func (p *Push) Messages() int64 { return p.messages }
@@ -77,16 +171,96 @@ func (p *Push) Source() graph.Vertex { return p.src }
 // vertices informed during this round start sending next round.
 func (p *Push) Step() {
 	p.round++
-	p.pending = p.pending[:0]
-	senders := p.frontier // snapshot: appended to only after the loop
-	for _, u := range senders {
-		nb := p.g.Neighbors(u)
-		v := nb[p.rng.IntN(len(nb))]
-		p.messages++
-		if p.opts.Observer != nil {
-			p.opts.Observer(p.round, u, v)
+	// Every informed vertex sends (and is counted), but only senders that
+	// can change state need to draw.
+	p.messages += int64(len(p.frontier))
+	if p.opts.Observer != nil {
+		p.stepSerial()
+		return
+	}
+	if p.boundary {
+		p.senders = p.active
+	} else {
+		p.senders = p.frontier
+	}
+	m := len(p.senders) // snapshot: commits below may mutate active
+	if m == 0 {
+		return
+	}
+	if p.targets == nil {
+		p.targets = make([]graph.Vertex, p.g.N())
+	}
+	if shardsFor(m, senderGrain, p.procs) == 1 {
+		p.drawShard(0, 0, m)
+	} else {
+		par.Do(m, senderGrain, p.drawFn)
+	}
+	// Serial merge: commit in draw order. informVertex sets the informed
+	// bit, so duplicate targets commit once.
+	before := len(p.frontier)
+	for _, v := range p.targets[:m] {
+		if v >= 0 && !p.informed.Test(int(v)) {
+			p.informVertex(v)
 		}
-		if p.opts.FailureProb > 0 && p.rng.Bernoulli(p.opts.FailureProb) {
+	}
+	if !p.boundary {
+		if len(p.frontier) != before {
+			p.stagnant = 0
+		} else if !p.Done() {
+			// Consecutive stagnant rounds are the signature of a long
+			// waiting phase. A single one also occurs in ordinary coupon
+			// tails, so require two in a row before paying the O(M)
+			// boundary construction.
+			if p.stagnant++; p.stagnant >= 2 {
+				p.enterBoundary()
+			}
+		}
+	}
+}
+
+// drawShard draws the round's neighbor choice (and failure coin) for
+// senders [lo, hi) into the targets scratch. Only per-slot writes; the
+// serial merge in Step commits.
+func (p *Push) drawShard(_, lo, hi int) {
+	round := uint64(p.round)
+	targets := p.targets
+	idx, nbrs := p.sampler.idx, p.sampler.nbrs
+	if idx == nil || p.failTh != 0 {
+		for k := lo; k < hi; k++ {
+			u := p.senders[k]
+			s := xrand.NewStream(p.seed, uint64(u), round)
+			v := p.sampler.sample(u, &s)
+			if p.failTh != 0 && s.Uint64() < p.failTh {
+				v = -1 // transmission lost
+			}
+			targets[k] = v
+		}
+		return
+	}
+	// Reliable-links fast path: one draw per sender, sampling inlined.
+	for k := lo; k < hi; k++ {
+		u := p.senders[k]
+		word := idx[u]
+		if graph.WalkDegreeOne(word) {
+			targets[k] = graph.WalkOnlyNeighbor(word, nbrs)
+		} else {
+			targets[k] = graph.WalkTarget(word, xrand.Mix3(p.seed, uint64(u), round), nbrs)
+		}
+	}
+}
+
+// stepSerial is the observer path: every informed vertex draws (from the
+// same per-sender streams) so the observer sees each neighbor call, in
+// sender order.
+func (p *Push) stepSerial() {
+	round := uint64(p.round)
+	senders := p.frontier // snapshot: appended to only after the loop
+	p.pending = p.pending[:0]
+	for _, u := range senders {
+		s := xrand.NewStream(p.seed, uint64(u), round)
+		v := p.sampler.sample(u, &s)
+		p.opts.Observer(p.round, u, v)
+		if p.failTh != 0 && s.Uint64() < p.failTh {
 			continue
 		}
 		if !p.informed.Test(int(v)) {

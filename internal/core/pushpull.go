@@ -3,6 +3,7 @@ package core
 import (
 	"rumor/internal/bitset"
 	"rumor/internal/graph"
+	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
 
@@ -10,7 +11,8 @@ import (
 type PushPullOptions struct {
 	// FailureProb is the probability that an exchange silently fails.
 	FailureProb float64
-	// Observer, if non-nil, receives every neighbor call.
+	// Observer, if non-nil, receives every neighbor call; it forces the
+	// serial all-vertices path but changes no random draw or outcome.
 	Observer MoveObserver
 }
 
@@ -18,13 +20,43 @@ type PushPullOptions struct {
 // (Section 3): in every round, every vertex (informed or not) samples a
 // uniform random neighbor, and if exactly one endpoint of the call was
 // informed before the round, the other becomes informed.
+//
+// Vertex u's round-t draws come from the stream keyed (seed, u, t); shards
+// draw concurrently and the newly informed set is committed in a serial
+// merge, so results are bit-identical for a given seed at any GOMAXPROCS.
+//
+// Counter-based streams let the engine restrict draws to "boundary"
+// vertices — those with a neighbor in the opposite informed state — since
+// any other vertex's exchange provably transfers nothing and skipping its
+// draw shifts nobody else's randomness. The protocol starts dense (all n
+// vertices draw) and switches to boundary mode on the first round that
+// informs nobody: on the double star that turns the Ω(n) bridge-crossing
+// wait from Θ(n) work per round into Θ(1). Messages always count one call
+// per vertex per round, as the protocol defines.
 type PushPull struct {
 	g        *graph.Graph
-	rng      *xrand.RNG
 	src      graph.Vertex
 	opts     PushPullOptions
+	seed     uint64
+	failTh   uint64
+	sampler  neighborSampler
 	informed *bitset.Set
+
+	// Boundary bookkeeping, built lazily after repeated stagnant rounds
+	// (never in observer mode).
+	boundary  bool
+	stagnant  int
+	active    []graph.Vertex // vertices with a neighbor of opposite state
+	activeIdx []int32
+	remUninf  []int32 // per-vertex count of uninformed neighbors
+	infNbrs   []int32 // per-vertex count of informed neighbors
+
+	procs    int
+	targets  []graph.Vertex // per-slot draw results; -1 marks a failure
+	srcs     []graph.Vertex // per-slot sender (boundary mode)
 	pending  []graph.Vertex
+	denseFn  func(shard, lo, hi int)
+	activeFn func(shard, lo, hi int)
 	count    int
 	round    int
 	messages int64
@@ -33,6 +65,7 @@ type PushPull struct {
 var _ Process = (*PushPull)(nil)
 
 // NewPushPull builds a push-pull process with the rumor on s in round zero.
+// It consumes exactly one value from rng (the protocol's stream seed).
 func NewPushPull(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushPullOptions) (*PushPull, error) {
 	if err := checkSource(g, s); err != nil {
 		return nil, err
@@ -42,14 +75,90 @@ func NewPushPull(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushPullOp
 	}
 	p := &PushPull{
 		g:        g,
-		rng:      rng,
 		src:      s,
 		opts:     opts,
+		seed:     rng.Uint64(),
+		failTh:   xrand.BernoulliThreshold(opts.FailureProb),
+		sampler:  newNeighborSampler(g),
 		informed: bitset.New(g.N()),
 		count:    1,
 	}
+	p.procs = par.Procs()
+	p.denseFn = p.drawDenseShard
+	p.activeFn = p.drawActiveShard
 	p.informed.Set(int(s))
 	return p, nil
+}
+
+// enterBoundary builds the boundary structures from the current informed
+// set: one O(n + Σ deg(informed)) pass, paid once.
+func (p *PushPull) enterBoundary() {
+	n := p.g.N()
+	p.activeIdx = make([]int32, n)
+	p.remUninf = make([]int32, n)
+	p.infNbrs = make([]int32, n)
+	for v := 0; v < n; v++ {
+		p.activeIdx[v] = -1
+		p.remUninf[v] = int32(p.g.Degree(graph.Vertex(v)))
+	}
+	for v := 0; v < n; v++ {
+		if p.informed.Test(v) {
+			for _, x := range p.g.Neighbors(graph.Vertex(v)) {
+				p.remUninf[x]--
+				p.infNbrs[x]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if p.isBoundary(graph.Vertex(v)) {
+			p.activeIdx[v] = int32(len(p.active))
+			p.active = append(p.active, graph.Vertex(v))
+		}
+	}
+	if p.srcs == nil {
+		p.srcs = make([]graph.Vertex, n)
+	}
+	p.boundary = true
+}
+
+// isBoundary reports whether v has a neighbor in the opposite informed
+// state, i.e. whether v's exchange can transfer the rumor.
+func (p *PushPull) isBoundary(v graph.Vertex) bool {
+	if p.informed.Test(int(v)) {
+		return p.remUninf[v] > 0
+	}
+	return p.infNbrs[v] > 0
+}
+
+// maintainBoundary updates the active set after v became informed: v's
+// neighbors each trade an uninformed neighbor for an informed one
+// (activating uninformed ones that just gained their first informed
+// neighbor, retiring informed ones that lost their last uninformed one),
+// and v itself joins or leaves.
+func (p *PushPull) maintainBoundary(v graph.Vertex) {
+	for _, x := range p.g.Neighbors(v) {
+		p.remUninf[x]--
+		p.infNbrs[x]++
+		p.setActive(x, p.isBoundary(x))
+	}
+	p.setActive(v, p.isBoundary(v))
+}
+
+func (p *PushPull) setActive(v graph.Vertex, want bool) {
+	i := p.activeIdx[v]
+	if want == (i >= 0) {
+		return
+	}
+	if want {
+		p.activeIdx[v] = int32(len(p.active))
+		p.active = append(p.active, v)
+		return
+	}
+	last := p.active[len(p.active)-1]
+	p.active[i] = last
+	p.activeIdx[last] = i
+	p.active = p.active[:len(p.active)-1]
+	p.activeIdx[v] = -1
 }
 
 // Name implements Process.
@@ -77,14 +186,147 @@ func (p *PushPull) Step() {
 	p.round++
 	p.pending = p.pending[:0]
 	n := p.g.N()
-	for u := 0; u < n; u++ {
-		nb := p.g.Neighbors(graph.Vertex(u))
-		v := nb[p.rng.IntN(len(nb))]
-		p.messages++
-		if p.opts.Observer != nil {
-			p.opts.Observer(p.round, graph.Vertex(u), v)
+	p.messages += int64(n) // every vertex calls a neighbor
+	switch {
+	case p.opts.Observer != nil:
+		p.stepSerial(n)
+	case p.boundary:
+		m := len(p.active)
+		if m == 0 {
+			return
 		}
-		if p.opts.FailureProb > 0 && p.rng.Bernoulli(p.opts.FailureProb) {
+		if shardsFor(m, senderGrain, p.procs) == 1 {
+			p.drawActiveShard(0, 0, m)
+		} else {
+			par.Do(m, senderGrain, p.activeFn)
+		}
+		// Collect against the pre-round informed state (the active list
+		// itself mutates only in the commit below, hence srcs).
+		for k := 0; k < m; k++ {
+			v := p.targets[k]
+			if v < 0 {
+				continue
+			}
+			u := p.srcs[k]
+			iu, iv := p.informed.Test(int(u)), p.informed.Test(int(v))
+			switch {
+			case iu && !iv:
+				p.pending = append(p.pending, v)
+			case !iu && iv:
+				p.pending = append(p.pending, u)
+			}
+		}
+	default:
+		if p.targets == nil {
+			p.targets = make([]graph.Vertex, n)
+		}
+		if shardsFor(n, senderGrain, p.procs) == 1 {
+			p.drawDenseShard(0, 0, n)
+		} else {
+			par.Do(n, senderGrain, p.denseFn)
+		}
+		for u := 0; u < n; u++ {
+			v := p.targets[u]
+			if v < 0 {
+				continue
+			}
+			iu, iv := p.informed.Test(u), p.informed.Test(int(v))
+			switch {
+			case iu && !iv:
+				p.pending = append(p.pending, v)
+			case !iu && iv:
+				p.pending = append(p.pending, graph.Vertex(u))
+			}
+		}
+	}
+	// Commit.
+	countBefore := p.count
+	for _, v := range p.pending {
+		if !p.informed.Test(int(v)) {
+			p.informed.Set(int(v))
+			p.count++
+			if p.boundary {
+				p.maintainBoundary(v)
+			}
+		}
+	}
+	if !p.boundary && p.opts.Observer == nil {
+		if p.count != countBefore {
+			p.stagnant = 0
+		} else if !p.Done() {
+			// Consecutive stagnant rounds signal a waiting phase (e.g.
+			// the double-star bridge); require two in a row before paying
+			// the O(M) boundary build so ordinary finishing tails skip it.
+			if p.stagnant++; p.stagnant >= 2 {
+				p.enterBoundary()
+			}
+		}
+	}
+}
+
+// drawDenseShard draws the round's neighbor choice (and failure coin) for
+// vertices [lo, hi) into per-vertex scratch slots. Vertex ids are
+// consecutive here, so the stream base advances incrementally (one add per
+// vertex) and the packed-index sampling is inlined, exactly as in the walk
+// inner loop.
+func (p *PushPull) drawDenseShard(_, lo, hi int) {
+	round := uint64(p.round)
+	idx, nbrs := p.sampler.idx, p.sampler.nbrs
+	if idx == nil || p.failTh != 0 {
+		for u := lo; u < hi; u++ {
+			s := xrand.NewStream(p.seed, uint64(u), round)
+			v := p.sampler.sample(graph.Vertex(u), &s)
+			if p.failTh != 0 && s.Uint64() < p.failTh {
+				v = -1
+			}
+			p.targets[u] = v
+		}
+		return
+	}
+	targets := p.targets[:hi]
+	base := xrand.MixBase(p.seed, uint64(lo), round)
+	for u := lo; u < hi; u++ {
+		word := idx[u]
+		if graph.WalkDegreeOne(word) {
+			targets[u] = graph.WalkOnlyNeighbor(word, nbrs)
+		} else if graph.WalkDegreeZero(word) {
+			targets[u] = -1 // isolated vertex: no call
+		} else {
+			targets[u] = graph.WalkTarget(word, xrand.Mix(base), nbrs)
+		}
+		base += xrand.UnitStride
+	}
+}
+
+// drawActiveShard draws for active-list slots [lo, hi), recording the
+// sender alongside because the active list mutates during the commit
+// phase.
+func (p *PushPull) drawActiveShard(_, lo, hi int) {
+	round := uint64(p.round)
+	for k := lo; k < hi; k++ {
+		u := p.active[k]
+		s := xrand.NewStream(p.seed, uint64(u), round)
+		v := p.sampler.sample(u, &s)
+		if p.failTh != 0 && s.Uint64() < p.failTh {
+			v = -1
+		}
+		p.srcs[k] = u
+		p.targets[k] = v
+	}
+}
+
+// stepSerial draws every vertex's stream one at a time so the observer
+// sees all n neighbor calls, in vertex order.
+func (p *PushPull) stepSerial(n int) {
+	round := uint64(p.round)
+	for u := 0; u < n; u++ {
+		s := xrand.NewStream(p.seed, uint64(u), round)
+		v := p.sampler.sample(graph.Vertex(u), &s)
+		if v < 0 {
+			continue // isolated vertex: no call to observe
+		}
+		p.opts.Observer(p.round, graph.Vertex(u), v)
+		if p.failTh != 0 && s.Uint64() < p.failTh {
 			continue
 		}
 		iu, iv := p.informed.Test(u), p.informed.Test(int(v))
@@ -93,12 +335,6 @@ func (p *PushPull) Step() {
 			p.pending = append(p.pending, v)
 		case !iu && iv:
 			p.pending = append(p.pending, graph.Vertex(u))
-		}
-	}
-	for _, v := range p.pending {
-		if !p.informed.Test(int(v)) {
-			p.informed.Set(int(v))
-			p.count++
 		}
 	}
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"rumor/internal/graph"
+	"rumor/internal/par"
+	"rumor/internal/xrand"
+)
+
+// Sharding support for the deterministic parallel round engine.
+//
+// Every protocol round is split into a parallel phase and a serial merge:
+// the parallel phase draws randomness from counter-based streams keyed
+// (protocol seed, unit id, round) — so no draw depends on execution order —
+// and writes only to per-unit slots or per-shard append buffers; the merge
+// then applies shard outputs in ascending shard order, which, shards being
+// contiguous ascending unit ranges, realizes the paper's "ties broken by
+// agent id" convention. Results are therefore bit-identical for a given
+// seed at any GOMAXPROCS.
+
+// Shard grains: minimum units per shard so dispatch never dominates.
+const (
+	// senderGrain is for per-vertex draw loops (push, push-pull, hybrid).
+	senderGrain = 1024
+	// agentGrain is for per-agent scan loops (visit/meet-exchange passes).
+	agentGrain = 2048
+	// wordGrain is agentGrain in 64-bit bitset words.
+	wordGrain = agentGrain / 64
+)
+
+// shardsFor computes the shard count for a round phase, with the
+// single-processor case short-circuited so per-round calls cost one
+// compare (par.Shards performs an integer division). procs is the
+// processor count cached at process construction; a mid-run GOMAXPROCS
+// change only affects processes built afterwards, never results.
+func shardsFor(n, grain, procs int) int {
+	if procs == 1 || n <= grain {
+		return 1
+	}
+	return par.Shards(n, grain)
+}
+
+// NOTE: the informed/uninformed bitset-word scans (visitx markShard +
+// pass2Shard, meetx markShard + meetShard, hybrid depositShard +
+// pickupShard) deliberately repeat the same loop shape — including the
+// ghost-bit mask `inv &= 1<<rem - 1` for the final partial word — rather
+// than share a predicate-closure helper: an indirect call per agent would
+// land in the engine's hottest loops. A fix to the masking or the
+// atomic-store discipline must be applied at every site.
+
+// shardBufs is a set of per-shard append buffers reused across rounds, so
+// steady-state stepping allocates nothing.
+type shardBufs[T any] struct {
+	bufs [][]T
+}
+
+// acquire returns `shards` empty buffers, retaining backing arrays.
+func (s *shardBufs[T]) acquire(shards int) [][]T {
+	for len(s.bufs) < shards {
+		s.bufs = append(s.bufs, nil)
+	}
+	bs := s.bufs[:shards]
+	for i := range bs {
+		bs[i] = bs[i][:0]
+	}
+	return bs
+}
+
+// neighborSampler resolves uniform neighbor draws against the graph's
+// packed walk index when available (single load + AND or multiply-shift),
+// falling back to the CSR slices — with identical draw consumption — for
+// graphs too large to pack.
+type neighborSampler struct {
+	g    *graph.Graph
+	idx  []uint64
+	nbrs []graph.Vertex
+}
+
+func newNeighborSampler(g *graph.Graph) neighborSampler {
+	return neighborSampler{g: g, idx: g.WalkIndex(), nbrs: g.NeighborsRaw()}
+}
+
+// sample returns a uniform neighbor of u, consuming exactly one draw from
+// s — except for degree-1 vertices (no draw) and isolated vertices, which
+// return -1 (no call can be made).
+func (ns *neighborSampler) sample(u graph.Vertex, s *xrand.Stream) graph.Vertex {
+	if ns.idx != nil {
+		word := ns.idx[u]
+		if graph.WalkDegreeOne(word) {
+			return graph.WalkOnlyNeighbor(word, ns.nbrs)
+		}
+		if graph.WalkDegreeZero(word) {
+			return -1
+		}
+		return graph.WalkTarget(word, s.Uint64(), ns.nbrs)
+	}
+	nb := ns.g.Neighbors(u)
+	if len(nb) == 1 {
+		return nb[0]
+	}
+	if len(nb) == 0 {
+		return -1
+	}
+	return nb[xrand.ReduceDeg(s.Uint64(), len(nb))]
+}

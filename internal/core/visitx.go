@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rumor/internal/agents"
 	"rumor/internal/bitset"
 	"rumor/internal/graph"
+	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
 
@@ -83,19 +85,40 @@ func (o AgentOptions) walkConfig(g *graph.Graph, forceLazyAuto bool) agents.Conf
 // one random-walk step, every agent informed in a previous round informs
 // the vertex it visits, and every agent standing on a vertex informed in a
 // previous or the current round becomes informed.
+//
+// Rounds run on the deterministic parallel engine: the walk step draws
+// per-(agent, round) streams (see package agents), and the two informing
+// passes scan shards of the agent bitset concurrently, committing their
+// finds in ascending shard — hence agent-id — order. Both informing passes
+// have pure set semantics, so the committed state is independent of scan
+// order; results are bit-identical for a given seed at any GOMAXPROCS.
 type VisitExchange struct {
 	g     *graph.Graph
 	src   graph.Vertex
 	walks *agents.Walks
 	opts  AgentOptions
 
-	informedV  *bitset.Set // vertices
-	informedA  *bitset.Set // agents
-	countV     int
-	newlyA     []int
-	round      int
-	messages   int64
-	allAgentsA bool
+	informedV *bitset.Set // vertices
+	informedA *bitset.Set // agents
+	countV    int
+	countA    int
+
+	// occInf stamps the vertices informed agents stand on this round;
+	// uninfV lists the still-uninformed vertices (swap-removed as they
+	// inform), so pass 1 costs one store per informed agent plus one load
+	// per uninformed vertex instead of a bitset probe per agent.
+	occInf *epochMark
+	uninfV []graph.Vertex
+
+	// Reusable shard machinery: bound once so steady-state stepping
+	// allocates nothing.
+	shardA   shardBufs[int32]
+	bufsA    [][]int32
+	procs    int
+	markFn   func(shard, lo, hi int)
+	pass2Fn  func(shard, lo, hi int)
+	round    int
+	messages int64
 }
 
 var _ Process = (*VisitExchange)(nil)
@@ -119,15 +142,25 @@ func NewVisitExchange(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts Agent
 		informedV: bitset.New(g.N()),
 		informedA: bitset.New(w.N()),
 		countV:    1,
+		occInf:    newEpochMark(g.N()),
+		uninfV:    make([]graph.Vertex, 0, g.N()-1),
 	}
+	v.procs = par.Procs()
+	v.markFn = v.markShard
+	v.pass2Fn = v.pass2Shard
 	// Round zero: the source vertex and every agent standing on it.
 	v.informedV.Set(int(s))
+	for u := 0; u < g.N(); u++ {
+		if graph.Vertex(u) != s {
+			v.uninfV = append(v.uninfV, graph.Vertex(u))
+		}
+	}
 	for i := 0; i < w.N(); i++ {
 		if w.Pos(i) == s {
 			v.informedA.Set(i)
+			v.countA++
 		}
 	}
-	v.allAgentsA = v.informedA.Full()
 	return v, nil
 }
 
@@ -145,10 +178,10 @@ func (v *VisitExchange) Done() bool { return v.countV == v.g.N() }
 func (v *VisitExchange) InformedCount() int { return v.countV }
 
 // InformedAgents returns the number of informed agents.
-func (v *VisitExchange) InformedAgents() int { return v.informedA.Count() }
+func (v *VisitExchange) InformedAgents() int { return v.countA }
 
 // AllAgentsInformed implements the agentTracker interface.
-func (v *VisitExchange) AllAgentsInformed() bool { return v.allAgentsA }
+func (v *VisitExchange) AllAgentsInformed() bool { return v.countA == v.walks.N() }
 
 // Messages implements Process: one token message per agent step.
 func (v *VisitExchange) Messages() int64 { return v.messages }
@@ -163,37 +196,127 @@ func (v *VisitExchange) AgentCount() int { return v.walks.N() }
 func (v *VisitExchange) Step() {
 	v.round++
 	v.walks.Step(nil)
-	v.messages += int64(v.walks.N())
+	na := v.walks.N()
+	v.messages += int64(na)
 	// Churned agents are fresh and uninformed.
 	for _, id := range v.walks.Respawned() {
-		v.informedA.Clear(id)
+		if v.informedA.Test(id) {
+			v.informedA.Clear(id)
+			v.countA--
+		}
 	}
 	if v.opts.Observer != nil {
-		for i := 0; i < v.walks.N(); i++ {
+		for i := 0; i < na; i++ {
 			v.opts.Observer(v.round, v.walks.Prev(i), v.walks.Pos(i))
 		}
 	}
-	// Pass 1: agents informed in a previous round inform their vertex.
-	na := v.walks.N()
-	for i := 0; i < na; i++ {
-		if v.informedA.Test(i) {
-			pos := v.walks.Pos(i)
-			if !v.informedV.Test(int(pos)) {
-				v.informedV.Set(int(pos))
+	words := len(v.informedA.Words())
+	shards := shardsFor(words, wordGrain, v.procs)
+
+	// Pass 1: agents informed in a previous round inform their vertex —
+	// stamp every informed agent's position, then sweep the uninformed
+	// vertex list for stamped entries. Skipped when it cannot change
+	// anything (no informed agents, or every vertex already informed).
+	if v.countA > 0 && v.countV < v.g.N() {
+		v.occInf.next()
+		if v.countA == na {
+			// Every agent is informed (the common state through the
+			// Ω(n) tails of Fig. 1c/1d): stamp positions directly,
+			// skipping the informedA word decode.
+			v.markAllShard(0, 0, na)
+		} else if shards == 1 {
+			v.markShardSerial(0, words)
+		} else {
+			par.DoN(shards, words, v.markFn)
+		}
+		list := v.uninfV
+		for k := 0; k < len(list); {
+			p := list[k]
+			if v.occInf.marked(p) {
+				v.informedV.Set(int(p))
 				v.countV++
+				list[k] = list[len(list)-1]
+				list = list[:len(list)-1]
+				continue // re-examine the swapped-in entry
+			}
+			k++
+		}
+		v.uninfV = list
+	}
+
+	// Pass 2: agents on a vertex informed in a previous or this round
+	// become informed (effective from the next round). Skipped once every
+	// agent is informed.
+	if v.countA < na {
+		v.bufsA = v.shardA.acquire(shards)
+		if shards == 1 {
+			v.pass2Shard(0, 0, words)
+		} else {
+			par.DoN(shards, words, v.pass2Fn)
+		}
+		for _, buf := range v.bufsA {
+			for _, i := range buf {
+				v.informedA.Set(int(i))
+				v.countA++
 			}
 		}
 	}
-	// Pass 2: agents on a vertex informed in a previous or this round
-	// become informed (effective from the next round).
-	v.newlyA = v.newlyA[:0]
-	for i := 0; i < na; i++ {
-		if !v.informedA.Test(i) && v.informedV.Test(int(v.walks.Pos(i))) {
-			v.newlyA = append(v.newlyA, i)
+}
+
+// markAllShard stamps the current vertex of every agent in [lo, hi),
+// valid exactly when all agents are informed.
+func (v *VisitExchange) markAllShard(_, lo, hi int) {
+	pos := v.walks.Positions()
+	stamp, epoch := v.occInf.stamp, v.occInf.epoch
+	for _, p := range pos[lo:hi] {
+		stamp[p] = epoch
+	}
+}
+
+// markShard stamps the current vertex of every informed agent in bitset
+// words [lo, hi). Stores are atomic — a full fence on amd64 — so it is
+// bound only to the sharded path, where concurrent shards may stamp the
+// same vertex; the sweep in Step runs after the barrier.
+func (v *VisitExchange) markShard(_, lo, hi int) {
+	aw := v.informedA.Words()
+	pos := v.walks.Positions()
+	for wi := lo; wi < hi; wi++ {
+		for wd := aw[wi]; wd != 0; wd &= wd - 1 {
+			v.occInf.markAtomic(pos[wi<<6+bits.TrailingZeros64(wd)])
 		}
 	}
-	for _, i := range v.newlyA {
-		v.informedA.Set(i)
+}
+
+// markShardSerial is markShard with plain stores, for the single-shard
+// path where no other goroutine touches the stamps.
+func (v *VisitExchange) markShardSerial(lo, hi int) {
+	aw := v.informedA.Words()
+	pos := v.walks.Positions()
+	for wi := lo; wi < hi; wi++ {
+		for wd := aw[wi]; wd != 0; wd &= wd - 1 {
+			v.occInf.mark(pos[wi<<6+bits.TrailingZeros64(wd)])
+		}
 	}
-	v.allAgentsA = v.informedA.Full()
+}
+
+// pass2Shard scans uninformed agents in bitset words [lo, hi) and collects
+// those standing on an informed vertex.
+func (v *VisitExchange) pass2Shard(shard, lo, hi int) {
+	aw := v.informedA.Words()
+	pos := v.walks.Positions()
+	na := v.walks.N()
+	buf := v.bufsA[shard]
+	for wi := lo; wi < hi; wi++ {
+		inv := ^aw[wi]
+		if rem := na - wi<<6; rem < 64 {
+			inv &= 1<<uint(rem) - 1 // mask ghost bits past the last agent
+		}
+		for ; inv != 0; inv &= inv - 1 {
+			i := wi<<6 + bits.TrailingZeros64(inv)
+			if v.informedV.Test(int(pos[i])) {
+				buf = append(buf, int32(i))
+			}
+		}
+	}
+	v.bufsA[shard] = buf
 }

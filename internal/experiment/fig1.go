@@ -42,7 +42,7 @@ func (f fig1Family) run(cfg Config) (*Table, error) {
 	ns := make([]float64, 0, len(params))
 	means := make(map[Proto][]float64, len(f.protos))
 	for i, param := range params {
-		g := f.build(param)
+		g := cachedGraph(fmt.Sprintf("%s/%d", f.id, param), func() *graph.Graph { return f.build(param) })
 		src := sourceOr(g, f.source)
 		row := []string{fmt.Sprintf("%d", param), fmt.Sprintf("%d", g.N())}
 		ns = append(ns, float64(g.N()))
@@ -201,7 +201,7 @@ func runCycleStars(cfg Config) (*Table, error) {
 	}
 	var ns, vx, mx, normRatios []float64
 	for i, k := range params {
-		g := graph.CycleStarsCliques(k)
+		g := cachedGraph(fmt.Sprintf("fig1e-cyclestars/%d", k), func() *graph.Graph { return graph.CycleStarsCliques(k) })
 		src := sourceOr(g, "cliqueVertex")
 		mv, err := Measure(ProtoVisitX, g, src, core.AgentOptions{}, trials, cfg.Seed+uint64(i))
 		if err != nil {

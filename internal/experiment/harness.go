@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rumor/internal/core"
 	"rumor/internal/graph"
@@ -153,6 +154,24 @@ func shapeVerdict(ns, means []float64, accepted ...string) string {
 	}
 	return fmt.Sprintf("fits %s pure / %s affine (expected one of %v) — CHECK",
 		pure.Shape, affineName, accepted)
+}
+
+// graphCache memoizes experiment graphs. Graphs are immutable and their
+// hot-path caches (packed walk index, stationary alias table) hang off the
+// instance, so sharing one instance per (family, parameter) across sweeps,
+// trials, and repeated experiment runs amortizes both construction and
+// cache building. Deterministic generators only: randomly generated graphs
+// must not be memoized (their identity depends on the seed).
+var graphCache sync.Map
+
+// cachedGraph returns the memoized graph for key, building it on first
+// use. Use only for deterministic (parameter-only) generators.
+func cachedGraph(key string, build func() *graph.Graph) *graph.Graph {
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph)
+	}
+	g, _ := graphCache.LoadOrStore(key, build())
+	return g.(*graph.Graph)
 }
 
 // sourceOr returns the named landmark, falling back to vertex 0.

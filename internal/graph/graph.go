@@ -11,7 +11,11 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
+
+	"rumor/internal/xrand"
 )
 
 // Vertex identifies a vertex. Vertices are dense in [0, N()).
@@ -26,6 +30,14 @@ type Graph struct {
 	neighbors []Vertex
 	name      string
 	landmarks map[string]Vertex
+
+	// Lazily built, immutable-once-built caches for the simulation hot
+	// path (see index.go). Graphs are shared read-only across parallel
+	// trials, so these amortize to one build per graph, not per trial.
+	walkOnce  sync.Once
+	walkIdx   []uint64
+	aliasOnce sync.Once
+	alias     *xrand.Alias
 }
 
 // N returns the number of vertices.
@@ -213,7 +225,7 @@ func (b *Builder) Build() (*Graph, error) {
 	offsets := make([]int64, b.n+1)
 	total := 0
 	for v, nb := range b.adj {
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		slices.Sort(nb)
 		for i := 1; i < len(nb); i++ {
 			if nb[i] == nb[i-1] {
 				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, nb[i])

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"rumor/internal/xrand"
+)
+
+// Hot-path sampling caches.
+//
+// Random-walk stepping and stationary placement are the innermost loops of
+// the agent protocols: every agent, every round, resolves its current
+// vertex to a (neighbor-list base, degree) pair and draws one neighbor.
+// The caches below are built lazily, once per graph, and shared read-only
+// by every concurrent trial.
+
+// Walk-index packing: one uint64 per vertex holding everything a neighbor
+// draw needs in a single random-access load.
+//
+//	bits 32..63  base: index of the vertex's first neighbor in Neighbors()
+//	bits  1..31  degree-1 (power-of-two degree) or degree (otherwise)
+//	bit   0      1 if the degree is a power of two
+//
+// For power-of-two degrees the stored value is directly the AND-mask for
+// the draw, so `u & mask` replaces the multiply-shift reduction; degree 1
+// stores mask 0 and needs no random bits at all.
+const (
+	walkBaseShift = 32
+	walkPow2Bit   = 1
+)
+
+// WalkIndex returns the packed per-vertex sampling index, building it on
+// first use. It returns nil when the graph is too large to pack (2M >=
+// 2^32 neighbor slots); callers fall back to the offsets-based path, which
+// consumes identical draws and applies the same reduction (xrand.ReduceDeg
+// mirrors the mask/multiply-shift split), so results do not depend on
+// which path ran.
+func (g *Graph) WalkIndex() []uint64 {
+	g.walkOnce.Do(func() {
+		if int64(len(g.neighbors)) >= 1<<32 || g.N() == 0 {
+			return
+		}
+		idx := make([]uint64, g.N())
+		for v := 0; v < g.N(); v++ {
+			base := uint64(g.offsets[v]) << walkBaseShift
+			deg := uint64(g.offsets[v+1] - g.offsets[v])
+			if deg > 0 && deg&(deg-1) == 0 {
+				idx[v] = base | (deg-1)<<1 | walkPow2Bit
+			} else {
+				idx[v] = base | deg<<1
+			}
+		}
+		g.walkIdx = idx
+	})
+	return g.walkIdx
+}
+
+// WalkTarget resolves one neighbor draw against a packed walk-index word:
+// it maps the 64-bit draw u onto [0, deg) — an AND for power-of-two
+// degrees, a multiply-shift reduction otherwise — and returns that
+// neighbor. The caller must ensure the vertex has positive degree.
+func WalkTarget(word uint64, u uint64, neighbors []Vertex) Vertex {
+	base := word >> walkBaseShift
+	dp := uint32(word)
+	var i uint64
+	if dp&walkPow2Bit != 0 {
+		i = u & uint64(dp>>1)
+	} else {
+		i = uint64(xrand.ReduceN(u, int(dp>>1)))
+	}
+	return neighbors[base+i]
+}
+
+// WalkTarget32 resolves one neighbor draw from only 32 random bits: the
+// AND-mask for power-of-two degrees, a 32-bit multiply-shift reduction
+// otherwise (bias at most deg/2^32 — invisible at simulation scale). Lazy
+// walks use it to fund the stay coin and the neighbor index from a single
+// 64-bit draw: the coin takes the top bit, the index the low word, and the
+// two never overlap.
+func WalkTarget32(word uint64, u uint32, neighbors []Vertex) Vertex {
+	base := word >> walkBaseShift
+	dp := uint32(word)
+	var i uint64
+	if dp&walkPow2Bit != 0 {
+		i = uint64(u & (dp >> 1))
+	} else {
+		i = uint64(u) * uint64(dp>>1) >> 32
+	}
+	return neighbors[base+i]
+}
+
+// WalkDegreeOne reports whether a packed walk-index word denotes a
+// degree-1 vertex, whose single neighbor needs no randomness.
+func WalkDegreeOne(word uint64) bool {
+	// Degree 1 is a power of two with mask 0: dp == walkPow2Bit.
+	return uint32(word) == walkPow2Bit
+}
+
+// WalkDegreeZero reports whether a packed walk-index word denotes an
+// isolated vertex. Callers that draw for every vertex (push-pull, hybrid)
+// must skip such vertices — WalkTarget on an isolated vertex would read a
+// neighbor belonging to the next vertex. Walk systems never place agents
+// on isolated vertices, so the agent stepping loops need no check.
+func WalkDegreeZero(word uint64) bool { return uint32(word) == 0 }
+
+// WalkOnlyNeighbor returns the single neighbor of a degree-1 vertex's
+// packed word.
+func WalkOnlyNeighbor(word uint64, neighbors []Vertex) Vertex {
+	return neighbors[word>>walkBaseShift]
+}
+
+// NeighborsRaw exposes the full CSR neighbor array for use with WalkIndex
+// words. The slice aliases graph storage and must not be modified.
+func (g *Graph) NeighborsRaw() []Vertex { return g.neighbors }
+
+// StationaryAlias returns an alias table over the stationary distribution
+// deg(v)/2|E| of a random walk, building it on first use. Sampling it is
+// O(1) per draw, replacing the O(log n) binary search over CSR offsets
+// that EndpointOwner performs. Returns nil for edgeless graphs.
+func (g *Graph) StationaryAlias() *xrand.Alias {
+	g.aliasOnce.Do(func() {
+		if len(g.neighbors) == 0 {
+			return
+		}
+		weights := make([]float64, g.N())
+		for v := 0; v < g.N(); v++ {
+			weights[v] = float64(g.offsets[v+1] - g.offsets[v])
+		}
+		a, err := xrand.NewAlias(weights)
+		if err != nil {
+			// Unreachable: at least one neighbor slot exists, so at
+			// least one weight is positive.
+			panic(err)
+		}
+		g.alias = a
+	})
+	return g.alias
+}

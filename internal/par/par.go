@@ -1,0 +1,154 @@
+// Package par provides the reusable worker pool behind the simulator's
+// deterministic parallel round engine.
+//
+// Work is expressed as a loop over [0, n) split into contiguous, ordered
+// shards: Do(n, grain, fn) calls fn(shard, lo, hi) once per shard with
+// shard boundaries that tile [0, n) in increasing order. The determinism
+// contract is split between this package and its callers:
+//
+//   - par guarantees shards are contiguous, disjoint, ordered by index,
+//     and that Do returns only after every shard completed;
+//   - callers guarantee fn's writes for shard s touch only state owned by
+//     indices [lo, hi) plus a per-shard output buffer, and that per-shard
+//     outputs are merged in shard order afterwards.
+//
+// Under those rules results are bit-identical for any worker count, so the
+// shard count may (and does) adapt to runtime.GOMAXPROCS(0): on a single
+// processor Do degrades to a plain loop with zero dispatch overhead.
+//
+// The pool's goroutines are started once and reused for every Do call in
+// the process. Submission never blocks: when every worker is busy (for
+// example when RunMany already saturates the machine with trial-level
+// parallelism) shards run inline on the caller, which also makes nested or
+// concurrent Do calls deadlock-free by construction.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the process-wide reusable worker pool. Workers park on the work
+// channel; tasks are closures that signal their WaitGroup when done.
+type pool struct {
+	work chan func()
+}
+
+var (
+	poolOnce sync.Once
+	shared   *pool
+
+	// procs caches runtime.GOMAXPROCS(0): querying it takes a runtime
+	// lock, far too expensive for once-per-round calls. The cache is
+	// refreshed by Refresh; a stale value changes only how much physical
+	// parallelism a round uses, never its result.
+	procs atomic.Int32
+)
+
+// Procs returns the cached processor count, initializing it on first use.
+func Procs() int {
+	if p := procs.Load(); p > 0 {
+		return int(p)
+	}
+	return Refresh()
+}
+
+// Refresh re-reads runtime.GOMAXPROCS(0) into the cache and returns it.
+// Long-running drivers (core.RunMany, the determinism tests) call it so
+// sharding tracks GOMAXPROCS changes; nothing correctness-critical depends
+// on it.
+func Refresh() int {
+	p := runtime.GOMAXPROCS(0)
+	procs.Store(int32(p))
+	return p
+}
+
+// sharedPool starts the workers on first use, sized to the processor count
+// at that moment. Worker count affects only physical parallelism, never
+// results, so a later GOMAXPROCS change at worst under- or over-subscribes
+// the machine.
+func sharedPool() *pool {
+	poolOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0)
+		shared = &pool{work: make(chan func(), 4*workers)}
+		for i := 0; i < workers; i++ {
+			go func() {
+				for f := range shared.work {
+					f()
+				}
+			}()
+		}
+	})
+	return shared
+}
+
+// Shards returns the number of contiguous shards Do will split n items
+// into, given the per-shard minimum grain: enough to occupy every
+// processor, but never so many that a shard drops below grain items.
+func Shards(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	s := Procs()
+	if m := n / grain; s > m {
+		s = m
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Do splits [0, n) into Shards(n, grain) contiguous shards and runs
+// fn(shard, lo, hi) for each, returning when all shards are done. With one
+// shard it calls fn(0, 0, n) inline. fn must confine its writes to state
+// owned by [lo, hi) and per-shard buffers (see the package comment).
+func Do(n, grain int, fn func(shard, lo, hi int)) {
+	DoN(Shards(n, grain), n, fn)
+}
+
+// DoN is Do with the shard count fixed by the caller. Callers that size
+// per-shard output buffers must use DoN with the same count they sized
+// for: Do recomputes Shards from the (refreshable) processor cache, so a
+// concurrent Refresh could otherwise hand fn a shard index beyond the
+// caller's buffers.
+func DoN(shards, n int, fn func(shard, lo, hi int)) {
+	if shards <= 0 || n <= 0 {
+		return
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	p := sharedPool()
+	for s := 0; s < shards; s++ {
+		// Balanced split: shard s covers [s*n/shards, (s+1)*n/shards).
+		// Unlike ceil-division chunking this never produces empty or
+		// out-of-range shards, for any shards <= n.
+		lo := s * n / shards
+		hi := (s + 1) * n / shards
+		task := func(s, lo, hi int) func() {
+			return func() {
+				defer wg.Done()
+				fn(s, lo, hi)
+			}
+		}(s, lo, hi)
+		// Never block on a busy pool: running the shard inline keeps Do
+		// deadlock-free and self-balancing under trial-level parallelism.
+		select {
+		case p.work <- task:
+		default:
+			task()
+		}
+	}
+	wg.Wait()
+}

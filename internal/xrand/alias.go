@@ -82,3 +82,15 @@ func (a *Alias) Sample(r *RNG) int32 {
 	}
 	return a.alias[i]
 }
+
+// SampleStream draws one outcome index from a counter-based Stream. It
+// consumes exactly two 64-bit draws — one for the column, one for the
+// coin — so per-unit draw counts stay fixed and sharded callers remain
+// deterministic.
+func (a *Alias) SampleStream(s *Stream) int32 {
+	i := s.IntN(len(a.prob))
+	if s.Float64() < a.prob[i] {
+		return int32(i)
+	}
+	return a.alias[i]
+}
