@@ -1,16 +1,19 @@
 // Command bench runs the protocol micro-benchmarks that gate performance
 // work on the simulation engine and writes the results as JSON (by default
-// BENCH_PR1.json), so the perf trajectory is tracked in-repo from PR 1
+// BENCH_PR2.json), so the perf trajectory is tracked in-repo from PR 1
 // onward.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out BENCH_PR1.json] [-benchtime 2s]
+//	go run ./cmd/bench [-out BENCH_PR2.json] [-benchtime 2s]
 //
-// Each entry records ns/op for the named benchmark plus the recorded
-// baseline of the serial seed implementation (measured on the same
-// single-core reference machine the PR-1 numbers come from), and the
-// resulting speedup.
+// Each entry records ns/op for the named benchmark plus a baseline and the
+// resulting speedup. Two baseline sources exist: the experiment benchmarks
+// compare against the recorded serial-seed medians from before PR 1
+// (measured on the same single-core reference machine), while the
+// MultiTrial*Batched benchmarks compare against their *Serial counterpart
+// measured in the same process — the unbatched PR-1 trial path versus the
+// PR-2 fused batched engine, on identical hardware and inputs.
 package main
 
 import (
@@ -42,6 +45,7 @@ type entry struct {
 	Name            string  `json:"name"`
 	NsPerOp         float64 `json:"ns_per_op"`
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Baseline        string  `json:"baseline,omitempty"`
 	Speedup         float64 `json:"speedup,omitempty"`
 	Iterations      int     `json:"iterations"`
 }
@@ -98,22 +102,98 @@ func benchStationaryPlacement(b *testing.B) {
 	}
 }
 
+// Multi-trial sweeps: the E1/E2-style workload — every figure in the paper
+// is a distribution over many trials of one (graph, protocol, n) point —
+// run once through the unbatched PR-1 trial pool (core.RunMany) and once
+// through the PR-2 fused batched engine (core.RunManyBatched). Identical
+// seeds, identical results (pinned by the core equivalence tests); only
+// throughput differs.
+
+const multiTrials = 8
+
+// multiTrialCase is one agent-protocol sweep over a deterministic graph
+// family.
+type multiTrialCase struct {
+	graphs []*rumor.Graph
+	proto  string // "visitx" or "meetx"
+}
+
+func e1StarSweep() []*rumor.Graph {
+	return []*rumor.Graph{rumor.Star(1024), rumor.Star(2048), rumor.Star(4096)}
+}
+
+func e2DoubleStarSweep() []*rumor.Graph {
+	return []*rumor.Graph{rumor.DoubleStar(512), rumor.DoubleStar(1024), rumor.DoubleStar(2048)}
+}
+
+func benchMultiTrialSerial(c multiTrialCase) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for gi, g := range c.graphs {
+				seed := uint64(i*len(c.graphs) + gi + 1)
+				_, err := rumor.RunMany(g, func(rng *rumor.RNG) (rumor.Process, error) {
+					if c.proto == "meetx" {
+						return rumor.NewMeetExchange(g, 0, rng, rumor.AgentOptions{})
+					}
+					return rumor.NewVisitExchange(g, 0, rng, rumor.AgentOptions{})
+				}, multiTrials, 0, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func benchMultiTrialBatched(c multiTrialCase) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for gi, g := range c.graphs {
+				seed := uint64(i*len(c.graphs) + gi + 1)
+				_, err := rumor.RunManyBatched(g, func(rngs []*rumor.RNG) (rumor.BatchedProcess, error) {
+					if c.proto == "meetx" {
+						return rumor.NewBatchedMeetExchange(g, 0, rngs, rumor.AgentOptions{})
+					}
+					return rumor.NewBatchedVisitExchange(g, 0, rngs, rumor.AgentOptions{})
+				}, multiTrials, 0, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "per-benchmark target time")
 	flag.Parse()
+
+	e1VisitX := multiTrialCase{graphs: e1StarSweep(), proto: "visitx"}
+	e1MeetX := multiTrialCase{graphs: e1StarSweep(), proto: "meetx"}
+	e2VisitX := multiTrialCase{graphs: e2DoubleStarSweep(), proto: "visitx"}
 
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
+		// vsRun names the earlier entry of this run that serves as the
+		// baseline (the unbatched PR-1 path); empty entries use the
+		// recorded pre-PR-1 serial-seed medians, when one exists.
+		vsRun string
 	}{
-		{"E1Fig1aStar", benchExperiment("fig1a-star")},
-		{"E2Fig1bDoubleStar", benchExperiment("fig1b-doublestar")},
-		{"E3Fig1cHeavyTree", benchExperiment("fig1c-heavytree")},
-		{"E4Fig1dSiameseTree", benchExperiment("fig1d-siamese")},
-		{"E5Fig1eCycleStars", benchExperiment("fig1e-cyclestars")},
-		{"VisitExchangeAgentStepThroughput", benchStepThroughput},
-		{"StationaryPlacement", benchStationaryPlacement},
+		{"E1Fig1aStar", benchExperiment("fig1a-star"), ""},
+		{"E2Fig1bDoubleStar", benchExperiment("fig1b-doublestar"), ""},
+		{"E3Fig1cHeavyTree", benchExperiment("fig1c-heavytree"), ""},
+		{"E4Fig1dSiameseTree", benchExperiment("fig1d-siamese"), ""},
+		{"E5Fig1eCycleStars", benchExperiment("fig1e-cyclestars"), ""},
+		{"VisitExchangeAgentStepThroughput", benchStepThroughput, ""},
+		{"StationaryPlacement", benchStationaryPlacement, ""},
+		{"MultiTrialVisitXStarSerial", benchMultiTrialSerial(e1VisitX), ""},
+		{"MultiTrialVisitXStarBatched", benchMultiTrialBatched(e1VisitX), "MultiTrialVisitXStarSerial"},
+		{"MultiTrialMeetXStarSerial", benchMultiTrialSerial(e1MeetX), ""},
+		{"MultiTrialMeetXStarBatched", benchMultiTrialBatched(e1MeetX), "MultiTrialMeetXStarSerial"},
+		{"MultiTrialVisitXDoubleStarSerial", benchMultiTrialSerial(e2VisitX), ""},
+		{"MultiTrialVisitXDoubleStarBatched", benchMultiTrialBatched(e2VisitX), "MultiTrialVisitXDoubleStarSerial"},
 	}
 
 	rep := report{
@@ -122,29 +202,41 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
+	measured := make(map[string]float64)
 	for _, bm := range benches {
-		// testing.Benchmark scales iterations to ~1s; loop until benchtime.
-		var res testing.BenchmarkResult
+		// testing.Benchmark scales iterations to ~1s; repeat until
+		// benchtime elapses (at least once, whatever the budget) and keep
+		// the least-interfered measurement with its iteration count.
 		deadline := time.Now().Add(*benchtime)
 		best := -1.0
 		iters := 0
-		for time.Now().Before(deadline) {
-			res = testing.Benchmark(bm.fn)
+		for {
+			res := testing.Benchmark(bm.fn)
 			ns := float64(res.NsPerOp())
-			iters = res.N
 			if best < 0 || ns < best {
-				best = ns // keep the least-interfered measurement
+				best = ns
+				iters = res.N
+			}
+			if !time.Now().Before(deadline) {
+				break
 			}
 		}
+		measured[bm.name] = best
 		e := entry{Name: bm.name, NsPerOp: best, Iterations: iters}
-		if base, ok := baselineNsPerOp[bm.name]; ok {
+		if bm.vsRun != "" {
+			e.BaselineNsPerOp = measured[bm.vsRun]
+			e.Baseline = bm.vsRun + " (this run)"
+		} else if base, ok := baselineNsPerOp[bm.name]; ok {
 			e.BaselineNsPerOp = base
-			e.Speedup = base / best
+			e.Baseline = "pre-PR1 serial seed"
+		}
+		if e.BaselineNsPerOp > 0 {
+			e.Speedup = e.BaselineNsPerOp / best
 		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 		fmt.Printf("%-34s %12.0f ns/op", e.Name, e.NsPerOp)
 		if e.Speedup > 0 {
-			fmt.Printf("   %5.2fx vs baseline", e.Speedup)
+			fmt.Printf("   %5.2fx vs %s", e.Speedup, e.Baseline)
 		}
 		fmt.Println()
 	}

@@ -22,6 +22,19 @@
 // machinery's lazily-built choice lists do. Agents the hook declines are
 // stepped with exactly the same per-agent streams as the parallel path.
 //
+// # Batched multi-trial stepping
+//
+// BatchedWalks fuses K independent trials' walk systems into one stepper:
+// a single blocked loop over agents steps every lane (trial) per round, so
+// the packed walk index and CSR neighbor array are touched by all K lanes
+// while cache-hot, and the loop runs degree-class-specialized, branchless
+// inner bodies (the serial stepper's degree-1/power-of-two branches are
+// data-dependent on mixed-degree families and their mispredictions
+// dominate the step cost there). Lane t draws from streams keyed
+// (seeds[t], agent, round) with seeds[t] consumed from trial t's RNG
+// exactly as New would, so every lane's trajectory is bit-identical to a
+// serial Walks — the contract core.RunManyBatched builds on.
+//
 // The package also provides epoch-stamped occupancy counters so protocols
 // can track per-round vertex visits in O(|A|) per round without O(n)
 // clears.
@@ -126,47 +139,57 @@ func New(g *graph.Graph, cfg Config, rng *xrand.RNG) (*Walks, error) {
 	w.procs = par.Procs()
 	w.stepFn = func(_, lo, hi int) { w.stepRangeNoChurn(lo, hi) }
 	w.churnFn = func(s, lo, hi int) { w.shardResp[s] = w.stepRangeChurn(lo, hi, w.shardResp[s][:0]) }
+	if err := placeLane(g, cfg, w.seed, w.pos); err != nil {
+		return nil, err
+	}
+	copy(w.prev, w.pos)
+	return w, nil
+}
+
+// placeLane fills lane (len cfg.Count) with cfg's initial placement,
+// drawing agent i's stationary sample from stream (seed, i, 0). New and
+// NewBatched share it, so a serial trial and a batched lane built from the
+// same seed place every agent identically.
+func placeLane(g *graph.Graph, cfg Config, seed uint64, lane []graph.Vertex) error {
 	switch cfg.Placement {
 	case PlaceStationary:
 		// O(1) alias sampling per agent (table cached on the graph),
 		// sharded: agent i draws from its round-0 stream, so placement is
 		// order-independent too.
 		alias := g.StationaryAlias()
-		pos := w.pos
-		par.Do(cfg.Count, stepGrain, func(_, lo, hi int) {
+		par.Do(len(lane), stepGrain, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				s := xrand.NewStream(w.seed, uint64(i), 0)
-				pos[i] = graph.Vertex(alias.SampleStream(&s))
+				s := xrand.NewStream(seed, uint64(i), 0)
+				lane[i] = graph.Vertex(alias.SampleStream(&s))
 			}
 		})
 	case PlaceOnePerVertex:
 		if cfg.Count != g.N() {
-			return nil, fmt.Errorf("agents: PlaceOnePerVertex needs Count == N (%d != %d)", cfg.Count, g.N())
+			return fmt.Errorf("agents: PlaceOnePerVertex needs Count == N (%d != %d)", cfg.Count, g.N())
 		}
 		if g.MinDegree() == 0 {
-			return nil, fmt.Errorf("agents: PlaceOnePerVertex on a graph with isolated vertices")
+			return fmt.Errorf("agents: PlaceOnePerVertex on a graph with isolated vertices")
 		}
-		for i := range w.pos {
-			w.pos[i] = graph.Vertex(i)
+		for i := range lane {
+			lane[i] = graph.Vertex(i)
 		}
 	case PlaceFixed:
 		if len(cfg.Fixed) != cfg.Count {
-			return nil, fmt.Errorf("agents: PlaceFixed needs len(Fixed) == Count (%d != %d)", len(cfg.Fixed), cfg.Count)
+			return fmt.Errorf("agents: PlaceFixed needs len(Fixed) == Count (%d != %d)", len(cfg.Fixed), cfg.Count)
 		}
 		for i, v := range cfg.Fixed {
 			if v < 0 || int(v) >= g.N() {
-				return nil, fmt.Errorf("agents: fixed position %d out of range", v)
+				return fmt.Errorf("agents: fixed position %d out of range", v)
 			}
 			if g.Degree(v) == 0 {
-				return nil, fmt.Errorf("agents: fixed position %d is an isolated vertex", v)
+				return fmt.Errorf("agents: fixed position %d is an isolated vertex", v)
 			}
-			w.pos[i] = v
+			lane[i] = v
 		}
 	default:
-		return nil, fmt.Errorf("agents: unknown placement %d", cfg.Placement)
+		return fmt.Errorf("agents: unknown placement %d", cfg.Placement)
 	}
-	copy(w.prev, w.pos)
-	return w, nil
+	return nil
 }
 
 // N returns the number of agents.

@@ -1,0 +1,206 @@
+package agents
+
+import (
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// trialRNGs builds K trial RNGs exactly as core.RunMany derives them.
+func trialRNGs(seed uint64, k int) []*xrand.RNG {
+	rngs := make([]*xrand.RNG, k)
+	for t := range rngs {
+		rngs[t] = xrand.New(xrand.TrialSeed(seed, t))
+	}
+	return rngs
+}
+
+// TestBatchedWalksMatchSerial: every lane of a BatchedWalks must trace
+// exactly the positions of a serial Walks built from the same trial RNG,
+// for simple and lazy walks, across many rounds.
+func TestBatchedWalksMatchSerial(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Hypercube(8), // uniform power-of-two degree (classPow2 loops)
+		graph.Star(257),    // mixed degree 1 / huge (branchless select loops)
+	}
+	for _, g := range graphs {
+		for _, lazy := range []bool{false, true} {
+			const k, agents, rounds = 5, 300, 40
+			cfg := Config{Count: agents, Lazy: lazy}
+			bw, err := NewBatched(g, cfg, trialRNGs(42, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := make([]*Walks, k)
+			for tr, rng := range trialRNGs(42, k) {
+				w, err := New(g, cfg, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial[tr] = w
+			}
+			check := func(round int) {
+				t.Helper()
+				for tr := 0; tr < k; tr++ {
+					lane := bw.Lane(tr)
+					for i := 0; i < agents; i++ {
+						if lane[i] != serial[tr].Pos(i) {
+							t.Fatalf("%s lazy=%v round %d lane %d agent %d: batched %d != serial %d",
+								g.Name(), lazy, round, tr, i, lane[i], serial[tr].Pos(i))
+						}
+					}
+				}
+			}
+			check(0)
+			for r := 1; r <= rounds; r++ {
+				bw.Step(nil)
+				for _, w := range serial {
+					w.Step(nil)
+				}
+				check(r)
+			}
+		}
+	}
+}
+
+// TestBatchedWalksDoneMasking: a masked lane freezes while the others keep
+// drawing the same streams they would have drawn with every lane active —
+// stream keys are per (agent, round), so masking must shift nothing.
+func TestBatchedWalksDoneMasking(t *testing.T) {
+	g := graph.Hypercube(7)
+	const k, agents = 4, 200
+	cfg := Config{Count: agents}
+	bw, err := NewBatched(g, cfg, trialRNGs(7, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]*Walks, k)
+	for tr, rng := range trialRNGs(7, k) {
+		serial[tr], err = New(g, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lane 1 stops after round 3, lane 2 after round 7.
+	stopAt := map[int]int{1: 3, 2: 7}
+	active := []bool{true, true, true, true}
+	frozen := make(map[int][]graph.Vertex)
+	for r := 1; r <= 12; r++ {
+		bw.Step(active)
+		for tr := 0; tr < k; tr++ {
+			if active[tr] {
+				serial[tr].Step(nil)
+			}
+		}
+		for tr := 0; tr < k; tr++ {
+			lane := bw.Lane(tr)
+			if want, ok := frozen[tr]; ok {
+				for i := range want {
+					if lane[i] != want[i] {
+						t.Fatalf("round %d: masked lane %d moved at agent %d", r, tr, i)
+					}
+				}
+				continue
+			}
+			for i := 0; i < agents; i++ {
+				if lane[i] != serial[tr].Pos(i) {
+					t.Fatalf("round %d lane %d agent %d: batched %d != serial %d",
+						r, tr, i, lane[i], serial[tr].Pos(i))
+				}
+			}
+		}
+		for tr, stop := range stopAt {
+			if r == stop {
+				active[tr] = false
+				frozen[tr] = append([]graph.Vertex(nil), bw.Lane(tr)...)
+			}
+		}
+	}
+}
+
+// TestBatchedWalksRejectsChurn pins the documented fallback contract.
+func TestBatchedWalksRejectsChurn(t *testing.T) {
+	g := graph.Hypercube(5)
+	_, err := NewBatched(g, Config{Count: 8, ChurnRate: 0.1}, trialRNGs(1, 2))
+	if err == nil {
+		t.Fatal("expected error for churned batched walks")
+	}
+}
+
+// Benchmarks: K serial trials stepped one system at a time versus the fused
+// batched stepper, per (lane, agent) step.
+
+func benchGraph() *graph.Graph { return graph.Hypercube(12) }
+
+func BenchmarkSerialWalksStep8(b *testing.B) {
+	g := benchGraph()
+	const k = 8
+	count := g.N()
+	ws := make([]*Walks, k)
+	for tr, rng := range trialRNGs(1, k) {
+		w, err := New(g, Config{Count: count}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws[tr] = w
+	}
+	b.SetBytes(int64(k * count))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			w.Step(nil)
+		}
+	}
+}
+
+func BenchmarkBatchedWalksStep8(b *testing.B) {
+	g := benchGraph()
+	const k = 8
+	count := g.N()
+	bw, err := NewBatched(g, Config{Count: count}, trialRNGs(1, k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(k * count))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw.Step(nil)
+	}
+}
+
+func BenchmarkSerialWalksStepStar8(b *testing.B) {
+	g := graph.Star(4097)
+	const k = 8
+	count := g.N()
+	ws := make([]*Walks, k)
+	for tr, rng := range trialRNGs(1, k) {
+		w, err := New(g, Config{Count: count}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws[tr] = w
+	}
+	b.SetBytes(int64(k * count))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			w.Step(nil)
+		}
+	}
+}
+
+func BenchmarkBatchedWalksStepStar8(b *testing.B) {
+	g := graph.Star(4097)
+	const k = 8
+	count := g.N()
+	bw, err := NewBatched(g, Config{Count: count}, trialRNGs(1, k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(k * count))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw.Step(nil)
+	}
+}

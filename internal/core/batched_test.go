@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/par"
+	"rumor/internal/xrand"
+)
+
+// The batched/serial equivalence contract: for every agent protocol, seed,
+// and batch width K, RunManyBatched must return []Result bit-identical to
+// RunMany — Rounds, Completed, Messages, AllAgentsRound, and the full
+// History per trial — at any GOMAXPROCS. These tests pin K in {1, 2, 7}
+// (one lane, partial bundle, prime width straddling nothing) at GOMAXPROCS
+// 1 and 8.
+
+type batchedProto struct {
+	name    string
+	serial  Factory
+	batched BatchedFactory
+}
+
+func batchedProtos(g *graph.Graph, s graph.Vertex) []batchedProto {
+	return []batchedProto{
+		{
+			name: "visit-exchange",
+			serial: func(rng *xrand.RNG) (Process, error) {
+				return NewVisitExchange(g, s, rng, AgentOptions{})
+			},
+			batched: func(rngs []*xrand.RNG) (BatchedProcess, error) {
+				return NewBatchedVisitExchange(g, s, rngs, AgentOptions{})
+			},
+		},
+		{
+			name: "meet-exchange",
+			serial: func(rng *xrand.RNG) (Process, error) {
+				return NewMeetExchange(g, s, rng, AgentOptions{})
+			},
+			batched: func(rngs []*xrand.RNG) (BatchedProcess, error) {
+				return NewBatchedMeetExchange(g, s, rngs, AgentOptions{})
+			},
+		},
+		{
+			name: "meet-exchange-lazy",
+			serial: func(rng *xrand.RNG) (Process, error) {
+				return NewMeetExchange(g, s, rng, AgentOptions{Lazy: LazyOn})
+			},
+			batched: func(rngs []*xrand.RNG) (BatchedProcess, error) {
+				return NewBatchedMeetExchange(g, s, rngs, AgentOptions{Lazy: LazyOn})
+			},
+		},
+	}
+}
+
+func atGOMAXPROCS[T any](t *testing.T, procs int, f func() T) T {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	par.Refresh()
+	defer func() {
+		runtime.GOMAXPROCS(prev)
+		par.Refresh()
+	}()
+	return f()
+}
+
+// TestBatchedEquivalence: batched results equal serial RunMany results for
+// K trials, per trial, on mixed-degree (star: branchless select loops,
+// also bipartite so plain meetx goes lazy) and uniform-degree (hypercube)
+// graphs, at GOMAXPROCS 1 and 8.
+func TestBatchedEquivalence(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Hypercube(9), // n = 512, uniform degree 9 (multiply-shift class)
+		graph.Star(601),    // extreme degree mix, bipartite
+	}
+	const seed = 1313
+	for _, g := range graphs {
+		for _, pc := range batchedProtos(g, 0) {
+			for _, k := range []int{1, 2, 7} {
+				serial, err := RunMany(g, pc.serial, k, 0, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, procs := range []int{1, 8} {
+					batched := atGOMAXPROCS(t, procs, func() []Result {
+						res, err := RunManyBatched(g, pc.batched, k, 0, seed)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					})
+					for tr := range serial {
+						if !reflect.DeepEqual(serial[tr], batched[tr]) {
+							t.Errorf("%s on %s K=%d GOMAXPROCS=%d trial %d: batched diverges\nserial:  rounds %d messages %d allAgents %d hist %d\nbatched: rounds %d messages %d allAgents %d hist %d",
+								pc.name, g.Name(), k, procs, tr,
+								serial[tr].Rounds, serial[tr].Messages, serial[tr].AllAgentsRound, len(serial[tr].History),
+								batched[tr].Rounds, batched[tr].Messages, batched[tr].AllAgentsRound, len(batched[tr].History))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedEquivalenceMaxRounds: a lane cut off at maxRounds must report
+// the same truncated Result (Completed false, Rounds == maxRounds, partial
+// History) as the serial path.
+func TestBatchedEquivalenceMaxRounds(t *testing.T) {
+	g := graph.Star(301)
+	const seed, k, maxRounds = 99, 4, 3
+	serial, err := RunMany(g, func(rng *xrand.RNG) (Process, error) {
+		return NewVisitExchange(g, 0, rng, AgentOptions{})
+	}, k, maxRounds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunManyBatched(g, func(rngs []*xrand.RNG) (BatchedProcess, error) {
+		return NewBatchedVisitExchange(g, 0, rngs, AgentOptions{})
+	}, k, maxRounds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, batched) {
+		t.Errorf("truncated batched results diverge from serial:\nserial:  %+v\nbatched: %+v", serial, batched)
+	}
+}
+
+// TestRunManyBatchedManyBundles: trials spanning several bundles (batchK=8,
+// so 19 trials is 3 bundles with a partial tail) still match serial.
+func TestRunManyBatchedManyBundles(t *testing.T) {
+	g := graph.Hypercube(7)
+	const seed, trials = 7, 19
+	serial, err := RunMany(g, func(rng *xrand.RNG) (Process, error) {
+		return NewVisitExchange(g, 0, rng, AgentOptions{})
+	}, trials, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunManyBatched(g, func(rngs []*xrand.RNG) (BatchedProcess, error) {
+		return NewBatchedVisitExchange(g, 0, rngs, AgentOptions{})
+	}, trials, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, batched) {
+		t.Error("multi-bundle batched results diverge from serial")
+	}
+}
+
+// TestRunManyErrorConsistency: the single-worker and parallel paths of
+// RunMany must return the same error for the same seed — the lowest-
+// numbered failing trial's — and parallel workers must stop claiming
+// trials once a failure is recorded.
+func TestRunManyErrorConsistency(t *testing.T) {
+	g := graph.Hypercube(6)
+	// Deterministic, seed-dependent failure: a trial fails iff its first
+	// RNG draw has its low bit set, with the draw embedded in the message
+	// so matching errors imply matching trials.
+	factory := func(rng *xrand.RNG) (Process, error) {
+		u := rng.Uint64()
+		if u&1 == 1 {
+			return nil, fmt.Errorf("synthetic failure %d", u)
+		}
+		return NewVisitExchange(g, 0, rng, AgentOptions{})
+	}
+	const seed, trials = 42, 16
+	run := func(procs int) error {
+		return atGOMAXPROCS(t, procs, func() error {
+			_, err := RunMany(g, factory, trials, 0, seed)
+			return err
+		})
+	}
+	errSerial := run(1)
+	if errSerial == nil {
+		t.Fatal("expected a synthetic failure; adjust the seed")
+	}
+	for _, procs := range []int{2, 8} {
+		errPar := run(procs)
+		if errPar == nil || errPar.Error() != errSerial.Error() {
+			t.Errorf("GOMAXPROCS=%d error %v != single-worker error %v", procs, errPar, errSerial)
+		}
+	}
+	if !strings.Contains(errSerial.Error(), "synthetic failure") {
+		t.Errorf("unexpected error: %v", errSerial)
+	}
+}
+
+// TestRunManyBatchedFactoryError: batched bundles propagate factory errors
+// like RunMany does.
+func TestRunManyBatchedFactoryError(t *testing.T) {
+	g := graph.Hypercube(5)
+	boom := fmt.Errorf("boom")
+	_, err := RunManyBatched(g, func(rngs []*xrand.RNG) (BatchedProcess, error) {
+		return nil, boom
+	}, 20, 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("expected factory error, got %v", err)
+	}
+}
+
+// TestRunManyBatchedErrorConsistency: like RunMany, the bundle pool must
+// return the same error at any worker count — the lowest-numbered failing
+// bundle's — and stop claiming bundles once a failure is recorded. 40
+// trials span 5 bundles so the parallel path genuinely races.
+func TestRunManyBatchedErrorConsistency(t *testing.T) {
+	g := graph.Hypercube(6)
+	// Deterministic, seed-dependent failure keyed off the bundle's first
+	// trial RNG, with the draw embedded so matching errors imply matching
+	// bundles.
+	factory := func(rngs []*xrand.RNG) (BatchedProcess, error) {
+		u := rngs[0].Uint64()
+		if u&1 == 1 {
+			return nil, fmt.Errorf("synthetic bundle failure %d", u)
+		}
+		return NewBatchedVisitExchange(g, 0, rngs, AgentOptions{})
+	}
+	const seed, trials = 42, 40
+	run := func(procs int) error {
+		return atGOMAXPROCS(t, procs, func() error {
+			_, err := RunManyBatched(g, factory, trials, 0, seed)
+			return err
+		})
+	}
+	errSerial := run(1)
+	if errSerial == nil || !strings.Contains(errSerial.Error(), "synthetic bundle failure") {
+		t.Fatalf("expected a synthetic failure, got %v; adjust the seed", errSerial)
+	}
+	for _, procs := range []int{2, 8} {
+		if errPar := run(procs); errPar == nil || errPar.Error() != errSerial.Error() {
+			t.Errorf("GOMAXPROCS=%d error %v != single-worker error %v", procs, errPar, errSerial)
+		}
+	}
+}

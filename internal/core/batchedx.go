@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rumor/internal/agents"
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/par"
+	"rumor/internal/xrand"
+)
+
+// Batched visit-exchange and meet-exchange bundles. Each lane carries the
+// full per-trial protocol state (informed sets, counts, occupancy marks);
+// the walk step is fused across lanes by agents.BatchedWalks, and the
+// informing passes run per lane — sharded across lanes on multi-core,
+// since lanes touch only their own state — with exactly the serial pass
+// semantics, so every lane's informed sets evolve bit-identically to a
+// serial trial with the same trial RNG.
+
+// visitLane is one trial's visit-exchange state.
+type visitLane struct {
+	informedV *bitset.Set
+	informedA *bitset.Set
+	countV    int
+	countA    int
+	uninfV    []graph.Vertex
+	occInf    *epochMark
+	messages  int64
+}
+
+// BatchedVisitExchange runs K visit-exchange trials in fused lockstep.
+type BatchedVisitExchange struct {
+	g     *graph.Graph
+	src   graph.Vertex
+	walks *agents.BatchedWalks
+	lanes []visitLane
+
+	activeIDs []int
+	procs     int
+	laneFn    func(shard, lo, hi int)
+}
+
+var _ BatchedProcess = (*BatchedVisitExchange)(nil)
+
+// NewBatchedVisitExchange builds a K = len(rngs) lane visit-exchange
+// bundle. Lane t consumes rngs[t] exactly as NewVisitExchange would, so
+// lane t replays serial trial t. Options requiring the serial path (churn,
+// observers) are rejected; callers fall back to RunMany.
+func NewBatchedVisitExchange(g *graph.Graph, s graph.Vertex, rngs []*xrand.RNG, opts AgentOptions) (*BatchedVisitExchange, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	if opts.Observer != nil {
+		return nil, fmt.Errorf("visit-exchange: batched runs do not support observers")
+	}
+	w, err := agents.NewBatched(g, opts.walkConfig(g, false), rngs)
+	if err != nil {
+		return nil, fmt.Errorf("visit-exchange: %w", err)
+	}
+	v := &BatchedVisitExchange{g: g, src: s, walks: w, lanes: make([]visitLane, len(rngs))}
+	v.procs = par.Procs()
+	v.laneFn = v.laneShard
+	// The initial uninformed-vertex list is the same for every lane; build
+	// it once and copy.
+	uninf := make([]graph.Vertex, 0, g.N()-1)
+	for u := 0; u < g.N(); u++ {
+		if graph.Vertex(u) != s {
+			uninf = append(uninf, graph.Vertex(u))
+		}
+	}
+	for t := range v.lanes {
+		L := &v.lanes[t]
+		L.informedV = bitset.New(g.N())
+		L.informedA = bitset.New(w.N())
+		L.countV = 1
+		L.occInf = newEpochMark(g.N())
+		L.uninfV = append(make([]graph.Vertex, 0, g.N()-1), uninf...)
+		L.informedV.Set(int(s))
+		for i, p := range w.Lane(t) {
+			if p == s {
+				L.informedA.Set(i)
+				L.countA++
+			}
+		}
+	}
+	return v, nil
+}
+
+// Name implements BatchedProcess.
+func (v *BatchedVisitExchange) Name() string { return "visit-exchange" }
+
+// K implements BatchedProcess.
+func (v *BatchedVisitExchange) K() int { return len(v.lanes) }
+
+// Source implements BatchedProcess.
+func (v *BatchedVisitExchange) Source() graph.Vertex { return v.src }
+
+// LaneDone implements BatchedProcess.
+func (v *BatchedVisitExchange) LaneDone(t int) bool { return v.lanes[t].countV == v.g.N() }
+
+// LaneInformedCount implements BatchedProcess (vertices).
+func (v *BatchedVisitExchange) LaneInformedCount(t int) int { return v.lanes[t].countV }
+
+// LaneMessages implements BatchedProcess.
+func (v *BatchedVisitExchange) LaneMessages(t int) int64 { return v.lanes[t].messages }
+
+// LaneAllAgentsInformed implements BatchedProcess.
+func (v *BatchedVisitExchange) LaneAllAgentsInformed(t int) bool {
+	return v.lanes[t].countA == v.walks.N()
+}
+
+// Step implements BatchedProcess: one fused walk round, then the two
+// informing passes per active lane.
+func (v *BatchedVisitExchange) Step(active []bool) {
+	v.walks.Step(active)
+	v.activeIDs = activeLanes(v.activeIDs[:0], active, len(v.lanes))
+	runLanes(v.laneFn, len(v.activeIDs), v.procs)
+}
+
+// laneShard runs the informing passes for active lanes [lo, hi).
+func (v *BatchedVisitExchange) laneShard(_, lo, hi int) {
+	for _, t := range v.activeIDs[lo:hi] {
+		v.stepLane(t)
+	}
+}
+
+// stepLane applies one round of visit-exchange informing to lane t,
+// mirroring the serial VisitExchange.Step pass structure.
+func (v *BatchedVisitExchange) stepLane(t int) {
+	L := &v.lanes[t]
+	pos := v.walks.Lane(t)
+	na := len(pos)
+	n := v.g.N()
+	L.messages += int64(na)
+
+	// Pass 1: agents informed in a previous round inform their vertex —
+	// stamp every informed agent's position, then sweep the uninformed
+	// vertex list for stamped entries (one store per agent beats a probe
+	// per agent: the stamp retires without a dependent branch).
+	if L.countA > 0 && L.countV < n {
+		L.occInf.next()
+		if L.countA == na {
+			stamp, epoch := L.occInf.stamp, L.occInf.epoch
+			for _, p := range pos {
+				stamp[p] = epoch
+			}
+		} else {
+			for wi, wd := range L.informedA.Words() {
+				for ; wd != 0; wd &= wd - 1 {
+					L.occInf.mark(pos[wi<<6+bits.TrailingZeros64(wd)])
+				}
+			}
+		}
+		list := L.uninfV
+		for k := 0; k < len(list); {
+			p := list[k]
+			if L.occInf.marked(p) {
+				L.informedV.Set(int(p))
+				L.countV++
+				list[k] = list[len(list)-1]
+				list = list[:len(list)-1]
+				continue // re-examine the swapped-in entry
+			}
+			k++
+		}
+		L.uninfV = list
+	}
+
+	// Pass 2: agents on a vertex informed in a previous or this round
+	// become informed. The predicate reads only informedV and pos, so
+	// committing inline (against a per-word snapshot) equals the serial
+	// collect-then-commit.
+	if L.countA < na {
+		aw := L.informedA.Words()
+		for wi := range aw {
+			inv := ^aw[wi]
+			if rem := na - wi<<6; rem < 64 {
+				inv &= 1<<uint(rem) - 1 // mask ghost bits past the last agent
+			}
+			for ; inv != 0; inv &= inv - 1 {
+				i := wi<<6 + bits.TrailingZeros64(inv)
+				if L.informedV.Test(int(pos[i])) {
+					L.informedA.Set(i)
+					L.countA++
+				}
+			}
+		}
+	}
+}
+
+// meetLane is one trial's meet-exchange state.
+type meetLane struct {
+	informedA    *bitset.Set
+	countA       int
+	occInf       *epochMark
+	sourceActive bool
+	newly        []int
+	messages     int64
+}
+
+// BatchedMeetExchange runs K meet-exchange trials in fused lockstep.
+type BatchedMeetExchange struct {
+	g     *graph.Graph
+	src   graph.Vertex
+	walks *agents.BatchedWalks
+	lanes []meetLane
+
+	activeIDs []int
+	procs     int
+	laneFn    func(shard, lo, hi int)
+}
+
+var _ BatchedProcess = (*BatchedMeetExchange)(nil)
+
+// NewBatchedMeetExchange builds a K = len(rngs) lane meet-exchange bundle;
+// lane t replays serial trial t (see NewBatchedVisitExchange).
+func NewBatchedMeetExchange(g *graph.Graph, s graph.Vertex, rngs []*xrand.RNG, opts AgentOptions) (*BatchedMeetExchange, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	if opts.Observer != nil {
+		return nil, fmt.Errorf("meet-exchange: batched runs do not support observers")
+	}
+	w, err := agents.NewBatched(g, opts.walkConfig(g, true), rngs)
+	if err != nil {
+		return nil, fmt.Errorf("meet-exchange: %w", err)
+	}
+	m := &BatchedMeetExchange{g: g, src: s, walks: w, lanes: make([]meetLane, len(rngs))}
+	m.procs = par.Procs()
+	m.laneFn = m.laneShard
+	for t := range m.lanes {
+		L := &m.lanes[t]
+		L.informedA = bitset.New(w.N())
+		L.occInf = newEpochMark(g.N())
+		for i, p := range w.Lane(t) {
+			if p == s {
+				L.informedA.Set(i)
+				L.countA++
+			}
+		}
+		L.sourceActive = L.countA == 0
+	}
+	return m, nil
+}
+
+// Name implements BatchedProcess.
+func (m *BatchedMeetExchange) Name() string { return "meet-exchange" }
+
+// K implements BatchedProcess.
+func (m *BatchedMeetExchange) K() int { return len(m.lanes) }
+
+// Source implements BatchedProcess.
+func (m *BatchedMeetExchange) Source() graph.Vertex { return m.src }
+
+// LaneDone implements BatchedProcess: every agent informed.
+func (m *BatchedMeetExchange) LaneDone(t int) bool { return m.lanes[t].countA == m.walks.N() }
+
+// LaneInformedCount implements BatchedProcess (agents).
+func (m *BatchedMeetExchange) LaneInformedCount(t int) int { return m.lanes[t].countA }
+
+// LaneMessages implements BatchedProcess.
+func (m *BatchedMeetExchange) LaneMessages(t int) int64 { return m.lanes[t].messages }
+
+// LaneAllAgentsInformed implements BatchedProcess.
+func (m *BatchedMeetExchange) LaneAllAgentsInformed(t int) bool { return m.LaneDone(t) }
+
+// Step implements BatchedProcess.
+func (m *BatchedMeetExchange) Step(active []bool) {
+	m.walks.Step(active)
+	m.activeIDs = activeLanes(m.activeIDs[:0], active, len(m.lanes))
+	runLanes(m.laneFn, len(m.activeIDs), m.procs)
+}
+
+// laneShard runs the meeting pass for active lanes [lo, hi).
+func (m *BatchedMeetExchange) laneShard(_, lo, hi int) {
+	for _, t := range m.activeIDs[lo:hi] {
+		m.stepLane(t)
+	}
+}
+
+// stepLane applies one round of meet-exchange informing to lane t,
+// mirroring the serial MeetExchange.Step.
+func (m *BatchedMeetExchange) stepLane(t int) {
+	L := &m.lanes[t]
+	pos := m.walks.Lane(t)
+	na := len(pos)
+	L.messages += int64(na)
+
+	// Mark vertices occupied by agents informed in a previous round, then
+	// collect uninformed agents meeting them.
+	L.occInf.next()
+	L.newly = L.newly[:0]
+	if L.countA > 0 && L.countA < na {
+		aw := L.informedA.Words()
+		for wi, wd := range aw {
+			for ; wd != 0; wd &= wd - 1 {
+				L.occInf.mark(pos[wi<<6+bits.TrailingZeros64(wd)])
+			}
+		}
+		for wi := range aw {
+			inv := ^aw[wi]
+			if rem := na - wi<<6; rem < 64 {
+				inv &= 1<<uint(rem) - 1
+			}
+			for ; inv != 0; inv &= inv - 1 {
+				i := wi<<6 + bits.TrailingZeros64(inv)
+				if L.occInf.marked(pos[i]) {
+					L.newly = append(L.newly, i)
+				}
+			}
+		}
+	}
+
+	// Source rule: while active, every agent visiting s this round becomes
+	// informed, then the source goes silent.
+	if L.sourceActive {
+		visited := false
+		for i := 0; i < na; i++ {
+			if pos[i] == m.src {
+				visited = true
+				L.newly = append(L.newly, i)
+			}
+		}
+		if visited {
+			L.sourceActive = false
+		}
+	}
+	for _, i := range L.newly {
+		if !L.informedA.Test(i) {
+			L.informedA.Set(i)
+			L.countA++
+		}
+	}
+}
+
+// activeLanes appends the indices of active lanes (all k when active is
+// nil) to dst and returns it.
+func activeLanes(dst []int, active []bool, k int) []int {
+	for t := 0; t < k; t++ {
+		if active == nil || active[t] {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// runLanes dispatches n lane-informing tasks: inline when single-lane or
+// single-processor, sharded over internal/par otherwise. Lanes write only
+// their own state, so any shard split is deterministic.
+func runLanes(fn func(shard, lo, hi int), n, procs int) {
+	if n == 0 {
+		return
+	}
+	if procs == 1 || n == 1 {
+		fn(0, 0, n)
+		return
+	}
+	par.Do(n, 1, fn)
+}

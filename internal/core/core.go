@@ -26,6 +26,20 @@
 // protocol at GOMAXPROCS 1, 2, and 8. Protocol constructors consume
 // exactly one seed value per independent mechanism from the trial RNG, so
 // RunMany's Derive(seed, trial) streams fully determine each trial.
+//
+// # Batched multi-trial execution
+//
+// Because every empirical figure is a distribution over many independent
+// trials, the agent protocols additionally run on a batched engine:
+// RunManyBatched fuses up to batchK trials into one bundle whose walk
+// round is a single loop over agents stepping every lane
+// (agents.BatchedWalks), with per-lane informing passes and per-trial
+// done-masking. The trial lane of the stream keying (xrand.TrialSeed)
+// guarantees lane t draws exactly what serial trial t would, so
+// RunManyBatched's []Result is bit-identical to RunMany's for every seed
+// and K — pinned by the batched equivalence tests at GOMAXPROCS 1 and 8.
+// Configurations the fused engine cannot express (churn, observers) stay
+// on RunMany.
 package core
 
 import (
@@ -165,11 +179,17 @@ type Factory func(rng *xrand.RNG) (Process, error)
 
 // RunMany executes `trials` independent runs on a GOMAXPROCS-sized worker
 // pool, deriving trial seeds from seed, and returns results in trial
-// order. Trial t's stream is xrand.New(xrand.Derive(seed, t)) regardless
-// of scheduling, so results are identical at any parallelism; within each
-// trial the protocols additionally shard rounds across internal/par (see
-// the package comment), and the two levels self-balance because shard
-// dispatch never blocks on a busy pool.
+// order. Trial t's stream is xrand.New(xrand.TrialSeed(seed, t))
+// regardless of scheduling, so results are identical at any parallelism;
+// within each trial the protocols additionally shard rounds across
+// internal/par (see the package comment), and the two levels self-balance
+// because shard dispatch never blocks on a busy pool.
+//
+// A factory error aborts the sweep: workers stop claiming trials once any
+// error is recorded (already-claimed trials run to completion), and the
+// error of the lowest-numbered failing trial is returned — the same error
+// the single-worker path returns for the same seed, since trials are
+// claimed in increasing order.
 func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64) ([]Result, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
@@ -188,7 +208,7 @@ func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64
 	if workers == 1 {
 		// Single worker: run trials inline, skipping goroutine dispatch.
 		for t := 0; t < trials; t++ {
-			rng := xrand.New(xrand.Derive(seed, t))
+			rng := xrand.New(xrand.TrialSeed(seed, t))
 			p, err := factory(rng)
 			if err != nil {
 				return nil, err
@@ -198,21 +218,28 @@ func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64
 		return results, nil
 	}
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
 				t := int(next.Add(1)) - 1
 				if t >= trials {
 					return
 				}
-				rng := xrand.New(xrand.Derive(seed, t))
+				rng := xrand.New(xrand.TrialSeed(seed, t))
 				p, err := factory(rng)
 				if err != nil {
+					// Record and stop claiming: trials are claimed in
+					// increasing order, so every index below a failing one
+					// was claimed and the first non-nil entry of errs is
+					// the lowest-numbered failure — exactly what the
+					// single-worker path aborts with.
 					errs[t] = err
-					continue
+					failed.Store(true)
+					return
 				}
 				results[t] = Run(g, p, maxRounds)
 			}
@@ -241,6 +268,16 @@ func AgentCount(n int, alpha float64) int {
 		c = 1
 	}
 	return c
+}
+
+// callerCount returns the number of vertices that place a neighbor call
+// each round in the exchange protocols: every non-isolated vertex. An
+// isolated vertex has nobody to call (exchange draws mark it with target
+// -1), so it must not be charged a message — push-pull and the hybrid use
+// this instead of n for their per-round accounting. The scan is cached on
+// the (immutable, trial-shared) graph.
+func callerCount(g *graph.Graph) int64 {
+	return int64(g.PositiveDegreeCount())
 }
 
 func checkSource(g *graph.Graph, s graph.Vertex) error {

@@ -35,6 +35,7 @@ type Hybrid struct {
 
 	seed    uint64 // keys the push-pull exchange streams
 	sampler neighborSampler
+	callers int64 // non-isolated vertices: one exchange message each per round
 
 	informedV *bitset.Set
 	informedA *bitset.Set
@@ -73,6 +74,7 @@ func NewHybrid(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts AgentOptions
 		opts:      opts,
 		seed:      rng.Uint64(),
 		sampler:   newNeighborSampler(g),
+		callers:   callerCount(g),
 		informedV: bitset.New(g.N()),
 		informedA: bitset.New(w.N()),
 		countV:    1,
@@ -106,7 +108,9 @@ func (h *Hybrid) InformedCount() int { return h.countV }
 // AllAgentsInformed implements the agentTracker interface.
 func (h *Hybrid) AllAgentsInformed() bool { return h.countA == h.walks.N() }
 
-// Messages implements Process: n neighbor calls + |A| agent steps per round.
+// Messages implements Process: one neighbor call per non-isolated vertex
+// (isolated vertices have nobody to call; their exchange draw is the
+// no-call marker -1) plus |A| agent steps per round.
 func (h *Hybrid) Messages() int64 { return h.messages }
 
 // Source implements the sourced interface.
@@ -120,7 +124,7 @@ func (h *Hybrid) Step() {
 	// drawn in parallel from per-vertex streams, merged in vertex order.
 	h.pendingV = h.pendingV[:0]
 	n := h.g.N()
-	h.messages += int64(n)
+	h.messages += h.callers
 	if h.targets == nil {
 		h.targets = make([]graph.Vertex, n)
 	}

@@ -31,8 +31,9 @@ type PushPullOptions struct {
 // draw shifts nobody else's randomness. The protocol starts dense (all n
 // vertices draw) and switches to boundary mode on the first round that
 // informs nobody: on the double star that turns the Ω(n) bridge-crossing
-// wait from Θ(n) work per round into Θ(1). Messages always count one call
-// per vertex per round, as the protocol defines.
+// wait from Θ(n) work per round into Θ(1). Messages count one call per
+// non-isolated vertex per round — an isolated vertex has no neighbor to
+// call (its exchange draw is the no-call marker -1), so it is not charged.
 type PushPull struct {
 	g        *graph.Graph
 	src      graph.Vertex
@@ -41,6 +42,7 @@ type PushPull struct {
 	failTh   uint64
 	sampler  neighborSampler
 	informed *bitset.Set
+	callers  int64 // non-isolated vertices: one message each per round
 
 	// Boundary bookkeeping, built lazily after repeated stagnant rounds
 	// (never in observer mode).
@@ -81,6 +83,7 @@ func NewPushPull(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushPullOp
 		failTh:   xrand.BernoulliThreshold(opts.FailureProb),
 		sampler:  newNeighborSampler(g),
 		informed: bitset.New(g.N()),
+		callers:  callerCount(g),
 		count:    1,
 	}
 	p.procs = par.Procs()
@@ -186,7 +189,7 @@ func (p *PushPull) Step() {
 	p.round++
 	p.pending = p.pending[:0]
 	n := p.g.N()
-	p.messages += int64(n) // every vertex calls a neighbor
+	p.messages += p.callers // every non-isolated vertex calls a neighbor
 	switch {
 	case p.opts.Observer != nil:
 		p.stepSerial(n)

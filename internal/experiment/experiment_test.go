@@ -3,10 +3,13 @@ package experiment
 import (
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rumor/internal/core"
 	"rumor/internal/graph"
+	"rumor/internal/stats"
 	"rumor/internal/xrand"
 )
 
@@ -168,5 +171,62 @@ func TestShapeVerdictFormats(t *testing.T) {
 	v = shapeVerdict(ns, ns, "log n")
 	if !strings.Contains(v, "CHECK") {
 		t.Errorf("verdict for linear data vs log n expectation: %q", v)
+	}
+}
+
+// TestCachedGraphBuildsOnce: concurrent first requests for one key must
+// run the builder exactly once and share the instance — the per-key
+// sync.Once contract (two goroutines racing LoadOrStore used to both pay
+// a paper-scale construction).
+func TestCachedGraphBuildsOnce(t *testing.T) {
+	var builds atomic.Int32
+	const workers = 16
+	got := make([]*graph.Graph, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = cachedGraph("test/builds-once", func() *graph.Graph {
+				builds.Add(1)
+				return graph.Hypercube(6)
+			})
+		}(w)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builder ran %d times, want 1", n)
+	}
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Errorf("worker %d received a different instance", w)
+		}
+	}
+}
+
+// TestMeasureBatchedMatchesSerial: Measure's automatic batched routing for
+// the agent protocols must not change any published number — the summary
+// over batched trials equals the summary over serial RunMany trials.
+func TestMeasureBatchedMatchesSerial(t *testing.T) {
+	g := graph.Star(301)
+	for _, p := range []Proto{ProtoVisitX, ProtoMeetX} {
+		m, err := Measure(p, g, 0, core.AgentOptions{}, 7, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
+			return BuildProcess(p, g, 0, rng, core.AgentOptions{})
+		}, 7, 0, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := make([]float64, len(serial))
+		for i, r := range serial {
+			rounds[i] = float64(r.Rounds)
+		}
+		want := stats.Summarize(rounds)
+		if m.Summary != want {
+			t.Errorf("%s: batched summary %+v != serial %+v", p, m.Summary, want)
+		}
 	}
 }

@@ -98,10 +98,13 @@ type Measurement struct {
 // summarizes the broadcast times. Incomplete runs are an error: every
 // experiment in this repository is expected to complete within the default
 // round budget.
+//
+// Agent protocols (visit-exchange, meet-exchange) without churn or
+// observers run on the fused batched engine (core.RunManyBatched), which
+// returns bit-identical results to the serial path at a fraction of the
+// cost; everything else runs per-trial on core.RunMany.
 func Measure(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials int, seed uint64) (Measurement, error) {
-	results, err := core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
-		return BuildProcess(p, g, src, rng, agentOpts)
-	}, trials, 0, seed)
+	results, err := runTrials(p, g, src, agentOpts, trials, seed)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -114,6 +117,27 @@ func Measure(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOpti
 		rounds[i] = float64(r.Rounds)
 	}
 	return Measurement{Proto: p, N: g.N(), Summary: stats.Summarize(rounds)}, nil
+}
+
+// runTrials dispatches a protocol sweep to the batched or serial trial
+// engine. The two produce bit-identical results (see core's batched
+// equivalence tests); batching is purely a throughput decision.
+func runTrials(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials int, seed uint64) ([]core.Result, error) {
+	if agentOpts.ChurnRate == 0 && agentOpts.Observer == nil {
+		switch p {
+		case ProtoVisitX:
+			return core.RunManyBatched(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
+				return core.NewBatchedVisitExchange(g, src, rngs, agentOpts)
+			}, trials, 0, seed)
+		case ProtoMeetX:
+			return core.RunManyBatched(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
+				return core.NewBatchedMeetExchange(g, src, rngs, agentOpts)
+			}, trials, 0, seed)
+		}
+	}
+	return core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
+		return BuildProcess(p, g, src, rng, agentOpts)
+	}, trials, 0, seed)
 }
 
 // fmtMean renders "mean ± ci95".
@@ -162,16 +186,25 @@ func shapeVerdict(ns, means []float64, accepted ...string) string {
 // trials, and repeated experiment runs amortizes both construction and
 // cache building. Deterministic generators only: randomly generated graphs
 // must not be memoized (their identity depends on the seed).
+//
+// Entries hold a per-key sync.Once so concurrent first requests for the
+// same key build the graph exactly once: racing LoadOrStore on the built
+// value would let two goroutines both pay a paper-scale construction and
+// throw one copy away.
 var graphCache sync.Map
 
-// cachedGraph returns the memoized graph for key, building it on first
-// use. Use only for deterministic (parameter-only) generators.
+type graphCacheEntry struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+// cachedGraph returns the memoized graph for key, building it exactly once
+// on first use. Use only for deterministic (parameter-only) generators.
 func cachedGraph(key string, build func() *graph.Graph) *graph.Graph {
-	if g, ok := graphCache.Load(key); ok {
-		return g.(*graph.Graph)
-	}
-	g, _ := graphCache.LoadOrStore(key, build())
-	return g.(*graph.Graph)
+	e, _ := graphCache.LoadOrStore(key, &graphCacheEntry{})
+	ent := e.(*graphCacheEntry)
+	ent.once.Do(func() { ent.g = build() })
+	return ent.g
 }
 
 // sourceOr returns the named landmark, falling back to vertex 0.

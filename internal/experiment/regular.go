@@ -19,6 +19,12 @@ type regularCase struct {
 // regularSuite builds the regular-graph test bed: hypercubes (degree
 // exactly log2 n), random d-regular graphs with d ≈ 2·ln n, and rings of
 // cliques (the "slow" regular family where broadcast takes Θ(n/d) rounds).
+//
+// The deterministic families (hypercube, ring of cliques) are memoized in
+// the experiment graph cache: the Theorem 1/23, lower-bound, and
+// meeting-bound experiments all sweep this suite, so each instance — and
+// its walk-index/alias caches — is built once across all of them. The
+// random-regular graphs depend on the sweep seed and must not be cached.
 func regularSuite(cfg Config) ([]regularCase, error) {
 	var cases []regularCase
 	dims := []int{7, 8, 9, 10}
@@ -30,7 +36,7 @@ func regularSuite(cfg Config) ([]regularCase, error) {
 		rcSizes = []int{128}
 	}
 	for _, dim := range dims {
-		g := graph.Hypercube(dim)
+		g := cachedGraph(fmt.Sprintf("hypercube/%d", dim), func() *graph.Graph { return graph.Hypercube(dim) })
 		cases = append(cases, regularCase{name: g.Name(), g: g, d: dim})
 	}
 	rng := xrand.New(xrand.Derive(cfg.Seed, 90001))
@@ -51,7 +57,7 @@ func regularSuite(cfg Config) ([]regularCase, error) {
 		if k < 3 {
 			k = 3
 		}
-		g := graph.RingOfCliques(k, s)
+		g := cachedGraph(fmt.Sprintf("ringcliques/%d/%d", k, s), func() *graph.Graph { return graph.RingOfCliques(k, s) })
 		cases = append(cases, regularCase{name: g.Name(), g: g, d: s + 1})
 	}
 	return cases, nil

@@ -34,10 +34,18 @@ type Graph struct {
 	// Lazily built, immutable-once-built caches for the simulation hot
 	// path (see index.go). Graphs are shared read-only across parallel
 	// trials, so these amortize to one build per graph, not per trial.
-	walkOnce  sync.Once
-	walkIdx   []uint64
-	aliasOnce sync.Once
-	alias     *xrand.Alias
+	walkOnce sync.Once
+	walkIdx  []uint64
+	// walkHasPow2/walkHasMul record, during the WalkIndex build, whether
+	// any positive-degree vertex uses the AND-mask (power-of-two degree)
+	// or the multiply-shift reduction; the batched stepper picks a
+	// specialized inner loop from them (see WalkDegreeMix).
+	walkHasPow2 bool
+	walkHasMul  bool
+	aliasOnce   sync.Once
+	alias       *xrand.Alias
+	posDegOnce  sync.Once
+	posDegCount int
 }
 
 // N returns the number of vertices.
@@ -113,6 +121,21 @@ func (g *Graph) MinDegree() int {
 		}
 	}
 	return m
+}
+
+// PositiveDegreeCount returns the number of non-isolated vertices,
+// computed once per graph: the exchange protocols charge one message per
+// such vertex per round, so per-trial constructors must not re-scan the
+// shared immutable graph.
+func (g *Graph) PositiveDegreeCount() int {
+	g.posDegOnce.Do(func() {
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(Vertex(v)) > 0 {
+				g.posDegCount++
+			}
+		}
+	})
+	return g.posDegCount
 }
 
 // MaxDegree returns the largest vertex degree.

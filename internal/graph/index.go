@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"math/bits"
+
 	"rumor/internal/xrand"
 )
 
@@ -44,8 +46,12 @@ func (g *Graph) WalkIndex() []uint64 {
 			deg := uint64(g.offsets[v+1] - g.offsets[v])
 			if deg > 0 && deg&(deg-1) == 0 {
 				idx[v] = base | (deg-1)<<1 | walkPow2Bit
+				g.walkHasPow2 = true
 			} else {
 				idx[v] = base | deg<<1
+				if deg > 0 {
+					g.walkHasMul = true
+				}
 			}
 		}
 		g.walkIdx = idx
@@ -85,6 +91,78 @@ func WalkTarget32(word uint64, u uint32, neighbors []Vertex) Vertex {
 		i = uint64(u) * uint64(dp>>1) >> 32
 	}
 	return neighbors[base+i]
+}
+
+// WalkTargetAny resolves one neighbor draw for any positive-degree vertex
+// without a degree-1 fast path: degree 1 is a power of two with mask 0, so
+// the AND branch already returns the single neighbor. Both reduction
+// results are computed and the power-of-two flag selects one, which the
+// compiler turns into a conditional move — no branch to mispredict. The
+// batched multi-trial stepper uses this: on mixed-degree families (star,
+// double star) the degree-1 branch of the serial loop is taken
+// near-randomly per agent, and the mispredictions cost more than the spare
+// multiply. Draw-for-draw it returns exactly what the
+// WalkDegreeOne/WalkTarget split returns for the same (word, u).
+func WalkTargetAny(word, u uint64, neighbors []Vertex) Vertex {
+	dp := uint32(word)
+	d := uint64(dp >> 1) // AND-mask (pow2) or degree (otherwise)
+	hi, _ := bits.Mul64(u, d)
+	// sel is all-ones when the degree is not a power of two, zero when it
+	// is; arithmetic selection rather than an if so the compiler cannot
+	// reintroduce a data-dependent branch.
+	sel := uint64(dp&walkPow2Bit) - 1
+	i := (hi & sel) | (u & d &^ sel)
+	return neighbors[word>>walkBaseShift+i]
+}
+
+// WalkTarget32Any is WalkTargetAny for the 32-bit lazy-walk draw scheme,
+// consuming only the low 32 bits of the draw exactly as WalkTarget32 does.
+func WalkTarget32Any(word uint64, u uint32, neighbors []Vertex) Vertex {
+	dp := uint32(word)
+	d := dp >> 1
+	ms := uint64(u) * uint64(d) >> 32
+	sel := uint64(dp&walkPow2Bit) - 1
+	i := (ms & sel) | (uint64(u&d) &^ sel)
+	return neighbors[word>>walkBaseShift+i]
+}
+
+// WalkDegreeMix reports which reduction classes the packed walk index
+// holds across positive-degree vertices: AND-mask (power-of-two degrees,
+// including degree 1) and multiply-shift (all other degrees). Uniform
+// graphs (hypercube, random regular) have exactly one class, so steppers
+// can run a class-specialized loop whose reduction branch vanishes; mixed
+// graphs (star, trees) are the ones where the per-vertex class branch is
+// data-dependent and a branchless select (WalkTargetAny) wins. Builds the
+// index as a side effect; both values are false when the graph is too
+// large to pack.
+func (g *Graph) WalkDegreeMix() (hasPow2, hasMul bool) {
+	if g.WalkIndex() == nil {
+		return false, false
+	}
+	return g.walkHasPow2, g.walkHasMul
+}
+
+// WalkTargetPow2 resolves a draw for a vertex known to have a power-of-two
+// degree: a single AND against the stored mask (degree 1 has mask 0).
+func WalkTargetPow2(word, u uint64, neighbors []Vertex) Vertex {
+	return neighbors[word>>walkBaseShift+(u&uint64(uint32(word)>>1))]
+}
+
+// WalkTargetMul resolves a draw for a vertex known to have a
+// non-power-of-two degree: one multiply-shift reduction.
+func WalkTargetMul(word, u uint64, neighbors []Vertex) Vertex {
+	hi, _ := bits.Mul64(u, uint64(uint32(word)>>1))
+	return neighbors[word>>walkBaseShift+hi]
+}
+
+// WalkTarget32Pow2 is WalkTargetPow2 on the 32-bit lazy-walk draw scheme.
+func WalkTarget32Pow2(word uint64, u uint32, neighbors []Vertex) Vertex {
+	return neighbors[word>>walkBaseShift+uint64(u&(uint32(word)>>1))]
+}
+
+// WalkTarget32Mul is WalkTargetMul on the 32-bit lazy-walk draw scheme.
+func WalkTarget32Mul(word uint64, u uint32, neighbors []Vertex) Vertex {
+	return neighbors[word>>walkBaseShift+uint64(u)*uint64(uint32(word)>>1)>>32]
 }
 
 // WalkDegreeOne reports whether a packed walk-index word denotes a

@@ -99,3 +99,87 @@ func TestWalkIndexCachedOnce(t *testing.T) {
 		t.Error("StationaryAlias rebuilt instead of cached")
 	}
 }
+
+// TestWalkTargetAnyMatchesSplitPaths: the branchless resolvers must return
+// exactly what the WalkDegreeOne/WalkTarget split returns for every degree
+// class (1, power-of-two, general) and many draws, and the class-
+// specialized variants must agree on their own classes.
+func TestWalkTargetAnyMatchesSplitPaths(t *testing.T) {
+	graphs := []*Graph{Star(9), Hypercube(4), HeavyBinaryTree(4), RingOfCliques(4, 5)}
+	for _, g := range graphs {
+		idx := g.WalkIndex()
+		nbrs := g.NeighborsRaw()
+		hasPow2, hasMul := g.WalkDegreeMix()
+		for v := 0; v < g.N(); v++ {
+			word := idx[v]
+			if WalkDegreeZero(word) {
+				continue
+			}
+			pow2 := uint32(word)&1 != 0
+			if pow2 && !hasPow2 || !pow2 && !hasMul {
+				t.Fatalf("%s: WalkDegreeMix inconsistent with vertex %d", g.Name(), v)
+			}
+			for draw := uint64(0); draw < 64; draw++ {
+				u := draw * 0x9e3779b97f4a7c15
+				var want Vertex
+				if WalkDegreeOne(word) {
+					want = WalkOnlyNeighbor(word, nbrs)
+				} else {
+					want = WalkTarget(word, u, nbrs)
+				}
+				if got := WalkTargetAny(word, u, nbrs); got != want {
+					t.Fatalf("%s v=%d u=%#x: WalkTargetAny %d != %d", g.Name(), v, u, got, want)
+				}
+				if pow2 {
+					if got := WalkTargetPow2(word, u, nbrs); got != want {
+						t.Fatalf("%s v=%d: WalkTargetPow2 %d != %d", g.Name(), v, got, want)
+					}
+				} else {
+					if got := WalkTargetMul(word, u, nbrs); got != want {
+						t.Fatalf("%s v=%d: WalkTargetMul %d != %d", g.Name(), v, got, want)
+					}
+				}
+				// 32-bit scheme against WalkTarget32.
+				u32 := uint32(u)
+				var want32 Vertex
+				if WalkDegreeOne(word) {
+					want32 = WalkOnlyNeighbor(word, nbrs)
+				} else {
+					want32 = WalkTarget32(word, u32, nbrs)
+				}
+				if got := WalkTarget32Any(word, u32, nbrs); got != want32 {
+					t.Fatalf("%s v=%d: WalkTarget32Any %d != %d", g.Name(), v, got, want32)
+				}
+				if pow2 {
+					if got := WalkTarget32Pow2(word, u32, nbrs); got != want32 {
+						t.Fatalf("%s v=%d: WalkTarget32Pow2 %d != %d", g.Name(), v, got, want32)
+					}
+				} else {
+					if got := WalkTarget32Mul(word, u32, nbrs); got != want32 {
+						t.Fatalf("%s v=%d: WalkTarget32Mul %d != %d", g.Name(), v, got, want32)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWalkDegreeMixClasses pins the class summary on known families.
+func TestWalkDegreeMixClasses(t *testing.T) {
+	cases := []struct {
+		g       *Graph
+		hasPow2 bool
+		hasMul  bool
+	}{
+		{Hypercube(4), true, false},        // uniform degree 4: pure pow2
+		{Hypercube(5), false, true},        // uniform degree 5: pure multiply-shift
+		{Star(9), true, true},              // leaves deg 1 (pow2), hub deg 9
+		{RingOfCliques(4, 5), false, true}, // uniform degree 6
+	}
+	for _, c := range cases {
+		p, m := c.g.WalkDegreeMix()
+		if p != c.hasPow2 || m != c.hasMul {
+			t.Errorf("%s: WalkDegreeMix = (%v,%v), want (%v,%v)", c.g.Name(), p, m, c.hasPow2, c.hasMul)
+		}
+	}
+}

@@ -20,7 +20,35 @@ type Summary struct {
 	Median float64
 	P10    float64
 	P90    float64
-	CI95   float64 // half-width of the normal-approximation 95% CI on the mean
+	// CI95 is the half-width of the 95% confidence interval on the mean:
+	// Student-t based for small samples (the experiment harness runs as few
+	// as 3 trials at ScaleSmall, where the normal 1.96 understates the
+	// interval by a factor of 2.2), normal-approximation beyond df 30.
+	CI95 float64
+}
+
+// tCrit95 holds the two-sided 95% Student-t critical values t_{0.975, df}
+// for df = 1..30; beyond that the normal 1.96 is within half a percent.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CritT95 returns the two-sided 95% critical value for the mean of an
+// n-sample: the Student-t value for n-1 degrees of freedom when n-1 <= 30,
+// the normal 1.96 otherwise. It returns 0 for n < 2, where no interval is
+// defined.
+func CritT95(n int) float64 {
+	df := n - 1
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	default:
+		return 1.96
+	}
 }
 
 // Summarize computes descriptive statistics. It panics on an empty sample;
@@ -54,7 +82,7 @@ func Summarize(xs []float64) Summary {
 		Median: Quantile(sorted, 0.5),
 		P10:    Quantile(sorted, 0.1),
 		P90:    Quantile(sorted, 0.9),
-		CI95:   1.96 * std / math.Sqrt(float64(len(sorted))),
+		CI95:   CritT95(len(sorted)) * std / math.Sqrt(float64(len(sorted))),
 	}
 }
 

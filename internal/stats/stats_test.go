@@ -30,6 +30,56 @@ func TestSummarizeBasics(t *testing.T) {
 	}
 }
 
+// TestCritT95 pins the critical values against the standard t-table:
+// t_{0.975, df} for small df, converging to the normal 1.96 for large N.
+func TestCritT95(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{2, 12.706}, // df 1
+		{3, 4.303},  // df 2 — the ScaleSmall trial count
+		{4, 3.182},
+		{5, 2.776},
+		{10, 2.262}, // df 9
+		{21, 2.086}, // df 20
+		{30, 2.045}, // df 29
+		{31, 2.042}, // df 30, last tabulated
+		{32, 1.96},  // beyond the table: normal approximation
+		{1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := CritT95(c.n); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("CritT95(%d) = %g, want %g", c.n, got, c.want)
+		}
+	}
+	if got := CritT95(1); got != 0 {
+		t.Errorf("CritT95(1) = %g, want 0 (no interval for a single sample)", got)
+	}
+}
+
+// TestSummarizeCI95StudentT: small samples must use the Student-t
+// half-width. With 3 trials the normal 1.96 would understate the interval
+// by a factor of 2.2.
+func TestSummarizeCI95StudentT(t *testing.T) {
+	s := Summarize([]float64{10, 12, 14})
+	// std = 2, so CI95 = t_{0.975,2} * 2 / sqrt(3).
+	want := 4.303 * 2 / math.Sqrt(3)
+	if !almostEqual(s.CI95, want, 1e-9) {
+		t.Errorf("CI95 = %g, want %g (Student-t, df=2)", s.CI95, want)
+	}
+	// A large sample falls back to the normal approximation.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 10)
+	}
+	sb := Summarize(big)
+	wantBig := 1.96 * sb.Std / math.Sqrt(100)
+	if !almostEqual(sb.CI95, wantBig, 1e-9) {
+		t.Errorf("large-sample CI95 = %g, want %g (normal)", sb.CI95, wantBig)
+	}
+}
+
 func TestSummarizeSingle(t *testing.T) {
 	s := Summarize([]float64{7})
 	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.CI95 != 0 {

@@ -229,3 +229,32 @@ func TestDeriveGolden(t *testing.T) {
 		}
 	}
 }
+
+// TestTrialSeedMatchesRunManyDerivation: the trial lane must be exactly
+// the per-trial derivation the serial trial pool uses, so batched engines
+// keyed (TrialSeed(seed, t), unit, round) replay serial trials bit for
+// bit.
+func TestTrialSeedMatchesRunManyDerivation(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		for trial := 0; trial < 64; trial++ {
+			if TrialSeed(seed, trial) != Derive(seed, trial) {
+				t.Fatalf("TrialSeed(%d,%d) != Derive", seed, trial)
+			}
+		}
+	}
+}
+
+// TestTrialLaneSeparation: streams keyed through the trial lane —
+// NewStream(TrialSeed(seed, t), unit, round) — must yield distinct draw
+// sequences for distinct trials at the same (unit, round).
+func TestTrialLaneSeparation(t *testing.T) {
+	seen := make(map[uint64]int)
+	for trial := 0; trial < 256; trial++ {
+		s := NewStream(TrialSeed(9, trial), 5, 7)
+		u := s.Uint64()
+		if prev, dup := seen[u]; dup {
+			t.Fatalf("trial-lane collision: trials %d and %d share a first draw", prev, trial)
+		}
+		seen[u] = trial
+	}
+}

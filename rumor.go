@@ -165,6 +165,25 @@ var (
 	AgentCount = core.AgentCount
 )
 
+// Batched multi-trial execution: K trials of an agent protocol stepped by
+// one fused engine, bit-identical to RunMany for the same seed.
+type (
+	// BatchedProcess bundles K independent trials of one agent protocol.
+	BatchedProcess = core.BatchedProcess
+	// BatchedFactory builds a batched bundle from per-trial RNGs.
+	BatchedFactory = core.BatchedFactory
+)
+
+var (
+	// RunManyBatched executes independent trials through the fused batched
+	// engine, returning exactly what RunMany returns for the same seed.
+	RunManyBatched = core.RunManyBatched
+	// NewBatchedVisitExchange builds a K-trial visit-exchange bundle.
+	NewBatchedVisitExchange = core.NewBatchedVisitExchange
+	// NewBatchedMeetExchange builds a K-trial meet-exchange bundle.
+	NewBatchedMeetExchange = core.NewBatchedMeetExchange
+)
+
 // Coupling exposes the executable proof machinery of Sections 5-6.
 type (
 	// CouplingConfig configures a coupled push/visit-exchange run.
