@@ -18,11 +18,9 @@ import (
 	"os"
 	"strings"
 
-	"rumor/internal/core"
 	"rumor/internal/experiment"
 	"rumor/internal/graph"
 	"rumor/internal/stats"
-	"rumor/internal/xrand"
 )
 
 func main() {
@@ -56,39 +54,29 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	g, err := graph.FromSpec(*graphSpec, xrand.New(xrand.Derive(*seed, 1<<20)))
+	// The CLI is a thin shell over the same spec-driven entry point the
+	// serving layer uses: one RunSpec, normalized, built, run.
+	spec := experiment.RunSpec{
+		Graph:     *graphSpec,
+		Protocol:  experiment.Proto(*protocol),
+		Source:    *source,
+		Trials:    *trials,
+		MaxRounds: *maxRounds,
+		Seed:      *seed,
+		Alpha:     *alpha,
+		Agents:    *agentsN,
+		Churn:     *churn,
+		Lazy:      *lazy,
+	}
+	spec, err := spec.Normalize()
 	if err != nil {
 		return err
 	}
-	src := graph.Vertex(*source)
-	if *source < 0 {
-		src = defaultSource(g)
+	g, src, err := spec.Build()
+	if err != nil {
+		return err
 	}
-	if src < 0 || int(src) >= g.N() {
-		return fmt.Errorf("source %d out of range [0,%d)", src, g.N())
-	}
-
-	lazyMode := core.LazyAuto
-	switch *lazy {
-	case "auto":
-	case "on":
-		lazyMode = core.LazyOn
-	case "off":
-		lazyMode = core.LazyOff
-	default:
-		return fmt.Errorf("bad -lazy value %q", *lazy)
-	}
-	agentOpts := core.AgentOptions{
-		Alpha:     *alpha,
-		Count:     *agentsN,
-		ChurnRate: *churn,
-		Lazy:      lazyMode,
-	}
-
-	proto := experiment.Proto(*protocol)
-	results, err := core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
-		return experiment.BuildProcess(proto, g, src, rng, agentOpts)
-	}, *trials, *maxRounds, *seed)
+	results, err := spec.RunOn(g, src, nil)
 	if err != nil {
 		return err
 	}
@@ -132,14 +120,4 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "warning: %d trials hit the round cutoff\n", len(results)-completed)
 	}
 	return nil
-}
-
-// defaultSource prefers the landmark the paper's lemmas use for each family.
-func defaultSource(g *graph.Graph) graph.Vertex {
-	for _, name := range []string{"leaf", "leafA", "centerA", "cliqueVertex", "root", "corner", "end", "first"} {
-		if v, ok := g.Landmark(name); ok {
-			return v
-		}
-	}
-	return 0
 }

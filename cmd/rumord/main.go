@@ -1,0 +1,91 @@
+// Command rumord serves the simulator as a long-running HTTP service:
+// canonicalized simulation requests with singleflight deduplication,
+// LRU-cached deterministic results, and NDJSON streaming of per-trial
+// results (package serve).
+//
+// Usage:
+//
+//	rumord -addr :8356
+//	curl -s localhost:8356/v1/run -d '{"graph":"star:1024","protocol":"visitx","trials":10,"seed":1}'
+//	curl -s localhost:8356/v1/sweep -d '{"defaults":{"trials":10},"graphs":["star:256","star:512"],"protocols":["push","visitx"]}'
+//	curl -s localhost:8356/v1/jobs/<id>/stream
+//
+// SIGINT/SIGTERM drain: intake stops (503), queued and running jobs
+// finish and deliver their results, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rumor/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rumord:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until a shutdown signal (or stop, the
+// tests' signal stand-in) triggers the drain. ready, when non-nil,
+// receives the bound address once listening.
+func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8356", "listen address")
+		workers = fs.Int("workers", 0, "concurrent simulations (0 = half the processors)")
+		queue   = fs.Int("queue", 0, "max queued jobs (0 = default 256)")
+		cache   = fs.Int("cache", 0, "completed-result LRU entries (0 = default 512)")
+		drain   = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := serve.New(serve.Options{Workers: *workers, QueueSize: *queue, CacheSize: *cache})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	log.Printf("rumord: listening on %s", ln.Addr())
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		return err
+	case v := <-sig:
+		log.Printf("rumord: %v: draining", v)
+	case <-stop:
+		log.Printf("rumord: stop requested: draining")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain order matters: the service stops intake first (new submissions
+	// get 503 while HTTP still serves), jobs finish and hand results to
+	// their waiting handlers, then the HTTP server waits for those
+	// handlers to flush.
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain jobs: %w", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain http: %w", err)
+	}
+	log.Printf("rumord: drained")
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeAndDrain boots the daemon on a random port, exercises one
+// deterministic request twice (fresh + cache, identical bytes), and
+// drains it through the stop channel.
+func TestServeAndDrain(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1"},
+			func(a net.Addr) { addrCh <- a }, stop)
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	post := func() []byte {
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"graph":"star:32","protocol":"push","trials":3,"seed":4}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		return b
+	}
+	fresh := post()
+	cached := post()
+	if string(fresh) != string(cached) {
+		t.Fatal("fresh and cached responses differ")
+	}
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain timed out")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

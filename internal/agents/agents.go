@@ -42,6 +42,7 @@ package agents
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rumor/internal/graph"
 	"rumor/internal/par"
@@ -107,6 +108,13 @@ type Walks struct {
 	stepFn    func(shard, lo, hi int)
 	churnFn   func(shard, lo, hi int)
 	round     int
+
+	// stampDst/stampEpoch carry StepStamped's destination through the
+	// pre-bound stampFn closure (rebinding a closure per round would
+	// allocate).
+	stampDst   []uint32
+	stampEpoch uint32
+	stampFn    func(shard, lo, hi int)
 }
 
 // ChooseFunc optionally overrides the destination of one agent's step. It
@@ -139,6 +147,7 @@ func New(g *graph.Graph, cfg Config, rng *xrand.RNG) (*Walks, error) {
 	w.procs = par.Procs()
 	w.stepFn = func(_, lo, hi int) { w.stepRangeNoChurn(lo, hi) }
 	w.churnFn = func(s, lo, hi int) { w.shardResp[s] = w.stepRangeChurn(lo, hi, w.shardResp[s][:0]) }
+	w.stampFn = func(_, lo, hi int) { w.stepRangeStamp(lo, hi, true) }
 	if err := placeLane(g, cfg, w.seed, w.pos); err != nil {
 		return nil, err
 	}
@@ -247,6 +256,102 @@ func (w *Walks) Step(choose ChooseFunc) {
 	par.DoN(shards, n, w.churnFn)
 	for _, b := range w.shardResp[:shards] {
 		w.respawned = append(w.respawned, b...)
+	}
+}
+
+// StepStamped is Step(nil) fused with per-destination occupancy marking:
+// it advances every walk one round and additionally stores epoch into
+// stamp at each agent's new vertex, in the same pass that writes the
+// position. Protocols in the "every agent informed" regime (the Ω(n)
+// tails of the paper's star-like families) use it to drop their separate
+// mark-informed-positions pass over all agents — see core.VisitExchange.
+//
+// The walk draws are identical to Step(nil)'s: agent i consumes the
+// stream keyed (seed, i, round) either way, so fusing never perturbs a
+// trajectory. Churn requires the respawn bookkeeping of the plain path
+// and is not supported here; StepStamped panics if it is enabled.
+// Stores into stamp go through atomics on the sharded path (two shards
+// may stamp the same vertex with the same value); readers must run after
+// StepStamped returns.
+func (w *Walks) StepStamped(stamp []uint32, epoch uint32) {
+	if w.cfg.ChurnRate > 0 {
+		panic("agents: StepStamped with churn enabled")
+	}
+	w.round++
+	w.respawned = w.respawned[:0]
+	w.prev, w.pos = w.pos, w.prev
+	w.stampDst, w.stampEpoch = stamp, epoch
+	n := len(w.pos)
+	if w.procs == 1 || n <= stepGrain {
+		w.stepRangeStamp(0, n, false)
+		return
+	}
+	par.Do(n, stepGrain, w.stampFn)
+}
+
+// stepRangeStamp is stepRangeNoChurn plus a stamp store per agent.
+// sharedStamp selects atomic stamp stores for the sharded path, where
+// concurrent shards may stamp the same vertex; the serial path uses plain
+// stores.
+func (w *Walks) stepRangeStamp(lo, hi int, sharedStamp bool) {
+	stamp, epoch := w.stampDst, w.stampEpoch
+	idx := w.g.WalkIndex()
+	if idx == nil {
+		// Graph too large to pack; same draws through the CSR slices, then
+		// stamp the fresh positions.
+		w.stepRangeGeneral(lo, hi)
+		for _, p := range w.pos[lo:hi] {
+			if sharedStamp {
+				atomic.StoreUint32(&stamp[p], epoch)
+			} else {
+				stamp[p] = epoch
+			}
+		}
+		return
+	}
+	nbrs := w.g.NeighborsRaw()
+	pos, prev := w.pos, w.prev
+	_ = pos[hi-1] // hoist the bounds checks out of the loop
+	_ = prev[hi-1]
+	base := xrand.MixBase(w.seed, uint64(lo), uint64(w.round))
+	if w.cfg.Lazy {
+		for i := lo; i < hi; i++ {
+			from := prev[i]
+			to := from // stay put on a set coin
+			if u := xrand.Mix(base); u>>63 == 0 {
+				word := idx[from]
+				if graph.WalkDegreeOne(word) {
+					to = graph.WalkOnlyNeighbor(word, nbrs)
+				} else {
+					to = graph.WalkTarget32(word, uint32(u), nbrs)
+				}
+			}
+			pos[i] = to
+			if sharedStamp {
+				atomic.StoreUint32(&stamp[to], epoch)
+			} else {
+				stamp[to] = epoch
+			}
+			base += xrand.UnitStride
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		from := prev[i]
+		word := idx[from]
+		var to graph.Vertex
+		if graph.WalkDegreeOne(word) {
+			to = graph.WalkOnlyNeighbor(word, nbrs)
+		} else {
+			to = graph.WalkTarget(word, xrand.Mix(base), nbrs)
+		}
+		pos[i] = to
+		if sharedStamp {
+			atomic.StoreUint32(&stamp[to], epoch)
+		} else {
+			stamp[to] = epoch
+		}
+		base += xrand.UnitStride
 	}
 }
 

@@ -310,3 +310,54 @@ func TestQuickOccupancyMatchesMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStepStampedMatchesStep(t *testing.T) {
+	g := graph.DoubleStar(64)
+	for _, lazy := range []bool{false, true} {
+		cfg := Config{Count: 200, Lazy: lazy}
+		plain, err := New(g, cfg, xrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamped, err := New(g, cfg, xrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamp := make([]uint32, g.N())
+		for round := 1; round <= 20; round++ {
+			plain.Step(nil)
+			stamped.StepStamped(stamp, uint32(round))
+			for i := 0; i < plain.N(); i++ {
+				if plain.Pos(i) != stamped.Pos(i) {
+					t.Fatalf("lazy=%v round %d: agent %d at %d (plain) vs %d (stamped)",
+						lazy, round, i, plain.Pos(i), stamped.Pos(i))
+				}
+			}
+			// The stamped set must be exactly the occupied vertices.
+			occupied := make(map[graph.Vertex]bool)
+			for i := 0; i < stamped.N(); i++ {
+				occupied[stamped.Pos(i)] = true
+			}
+			for v := 0; v < g.N(); v++ {
+				if got := stamp[v] == uint32(round); got != occupied[graph.Vertex(v)] {
+					t.Fatalf("lazy=%v round %d: vertex %d stamped=%v occupied=%v",
+						lazy, round, v, got, occupied[graph.Vertex(v)])
+				}
+			}
+		}
+	}
+}
+
+func TestStepStampedPanicsWithChurn(t *testing.T) {
+	g := graph.Complete(8)
+	w, err := New(g, Config{Count: 8, ChurnRate: 0.5}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepStamped with churn did not panic")
+		}
+	}()
+	w.StepStamped(make([]uint32, g.N()), 1)
+}

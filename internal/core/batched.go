@@ -75,6 +75,15 @@ const batchK = 8
 // error of the lowest-numbered failing trial is returned, matching
 // RunMany's error discipline.
 func RunManyBatched(g *graph.Graph, factory BatchedFactory, trials, maxRounds int, seed uint64) ([]Result, error) {
+	return RunManyBatchedEmit(g, factory, trials, maxRounds, seed, nil)
+}
+
+// RunManyBatchedEmit is RunManyBatched with streaming: emit (when non-nil)
+// receives each trial's Result in strict trial order. A lane's Result is
+// finalized the moment the lane completes inside its bundle — not when the
+// whole bundle finishes — so long-tail lanes don't delay the emission of
+// their siblings beyond the trial-order constraint.
+func RunManyBatchedEmit(g *graph.Graph, factory BatchedFactory, trials, maxRounds int, seed uint64, emit EmitFunc) ([]Result, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
 	}
@@ -85,6 +94,7 @@ func RunManyBatched(g *graph.Graph, factory BatchedFactory, trials, maxRounds in
 	g.StationaryAlias()
 	par.Refresh()
 	results := make([]Result, trials)
+	em := newOrderedEmitter(emit, results)
 	bundles := (trials + batchK - 1) / batchK
 	errs := make([]error, bundles)
 	runBundle := func(b int) {
@@ -102,7 +112,7 @@ func RunManyBatched(g *graph.Graph, factory BatchedFactory, trials, maxRounds in
 			errs[b] = err
 			return
 		}
-		driveBatch(g, bp, maxRounds, results[t0:t1])
+		driveBatch(g, bp, maxRounds, results[t0:t1], em, t0)
 	}
 	workers := maxParallel()
 	if workers > bundles {
@@ -151,10 +161,27 @@ func RunManyBatched(g *graph.Graph, factory BatchedFactory, trials, maxRounds in
 // History[0] is the count after round-zero initialization, each stepped
 // round appends one entry, AllAgentsRound is the first round with every
 // agent informed, and a lane cut off at maxRounds reports Completed false.
-func driveBatch(g *graph.Graph, bp BatchedProcess, maxRounds int, out []Result) {
+// Each lane's Result is finalized — and reported to em as trial t0+lane —
+// the moment the lane completes; lanes still running at maxRounds are
+// finalized at the cutoff.
+func driveBatch(g *graph.Graph, bp BatchedProcess, maxRounds int, out []Result, em *orderedEmitter, t0 int) {
 	k := bp.K()
 	active := make([]bool, k)
 	hists := make([]*[]int, k)
+	// finalize freezes lane t's Result with the given round count. A lane
+	// is never stepped after finalize (Step masks it out), so Messages and
+	// Done are stable from here on.
+	finalize := func(t, rounds int) {
+		res := &out[t]
+		res.Rounds = rounds
+		res.Completed = bp.LaneDone(t)
+		res.Messages = bp.LaneMessages(t)
+		hist := *hists[t]
+		res.History = append(make([]int, 0, len(hist)), hist...)
+		*hists[t] = hist[:0]
+		histPool.Put(hists[t])
+		em.complete(t0 + t)
+	}
 	running := 0
 	for t := 0; t < k; t++ {
 		res := &out[t]
@@ -171,6 +198,8 @@ func driveBatch(g *graph.Graph, bp BatchedProcess, maxRounds int, out []Result) 
 		if !bp.LaneDone(t) {
 			active[t] = true
 			running++
+		} else {
+			finalize(t, 0)
 		}
 	}
 	round := 0
@@ -189,21 +218,13 @@ func driveBatch(g *graph.Graph, bp BatchedProcess, maxRounds int, out []Result) 
 			if bp.LaneDone(t) {
 				active[t] = false
 				running--
+				finalize(t, round)
 			}
 		}
 	}
 	for t := 0; t < k; t++ {
-		res := &out[t]
 		if active[t] {
-			res.Rounds = maxRounds
-		} else {
-			res.Rounds = len(*hists[t]) - 1
+			finalize(t, maxRounds)
 		}
-		res.Completed = bp.LaneDone(t)
-		res.Messages = bp.LaneMessages(t)
-		hist := *hists[t]
-		res.History = append(make([]int, 0, len(hist)), hist...)
-		*hists[t] = hist[:0]
-		histPool.Put(hists[t])
 	}
 }

@@ -177,6 +177,52 @@ type sourced interface {
 // per trial.
 type Factory func(rng *xrand.RNG) (Process, error)
 
+// EmitFunc receives completed trial results. The engines call it in
+// strict trial order (0, 1, 2, ...) with each trial's final Result,
+// serialized under an internal lock — trial t is emitted only after every
+// trial below t, regardless of completion order on the pool. Streaming
+// consumers (the serving layer's NDJSON endpoint) build on this ordering
+// to produce deterministic byte streams. Emit functions must not call
+// back into the engine and should return quickly; heavy work belongs on
+// the consumer's side of a channel or buffer.
+type EmitFunc func(trial int, r Result)
+
+// orderedEmitter serializes out-of-order trial completions into in-order
+// EmitFunc calls. A nil *orderedEmitter is valid and inert, so engines
+// can call complete unconditionally.
+type orderedEmitter struct {
+	mu      sync.Mutex
+	emit    EmitFunc
+	results []Result
+	done    []bool
+	next    int
+}
+
+// newOrderedEmitter returns an emitter flushing from results, or nil when
+// emit is nil. results must be the engine's result slice: entry t is read
+// inside complete(t), after the worker fully wrote it.
+func newOrderedEmitter(emit EmitFunc, results []Result) *orderedEmitter {
+	if emit == nil {
+		return nil
+	}
+	return &orderedEmitter{emit: emit, results: results, done: make([]bool, len(results))}
+}
+
+// complete marks trial t finished and flushes every consecutive finished
+// trial from the front of the order.
+func (e *orderedEmitter) complete(t int) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.done[t] = true
+	for e.next < len(e.done) && e.done[e.next] {
+		e.emit(e.next, e.results[e.next])
+		e.next++
+	}
+	e.mu.Unlock()
+}
+
 // RunMany executes `trials` independent runs on a GOMAXPROCS-sized worker
 // pool, deriving trial seeds from seed, and returns results in trial
 // order. Trial t's stream is xrand.New(xrand.TrialSeed(seed, t))
@@ -191,6 +237,14 @@ type Factory func(rng *xrand.RNG) (Process, error)
 // the single-worker path returns for the same seed, since trials are
 // claimed in increasing order.
 func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64) ([]Result, error) {
+	return RunManyEmit(g, factory, trials, maxRounds, seed, nil)
+}
+
+// RunManyEmit is RunMany with streaming: emit (when non-nil) receives each
+// trial's Result in strict trial order as trials complete, before
+// RunManyEmit returns. On a factory error, trials past the failure are
+// never emitted; everything emitted is final.
+func RunManyEmit(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64, emit EmitFunc) ([]Result, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
 	}
@@ -200,6 +254,7 @@ func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64
 	g.StationaryAlias()
 	par.Refresh()
 	results := make([]Result, trials)
+	em := newOrderedEmitter(emit, results)
 	errs := make([]error, trials)
 	workers := maxParallel()
 	if workers > trials {
@@ -214,6 +269,7 @@ func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64
 				return nil, err
 			}
 			results[t] = Run(g, p, maxRounds)
+			em.complete(t)
 		}
 		return results, nil
 	}
@@ -242,6 +298,7 @@ func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64
 					return
 				}
 				results[t] = Run(g, p, maxRounds)
+				em.complete(t)
 			}
 		}()
 	}

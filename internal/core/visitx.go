@@ -119,6 +119,12 @@ type VisitExchange struct {
 	pass2Fn  func(shard, lo, hi int)
 	round    int
 	messages int64
+
+	// fuseMark enables folding pass 1's occupancy marking into the walk
+	// step once every agent is informed (see Step). On by default; the
+	// equivalence test clears it to pin the fused path against the
+	// separate-pass path.
+	fuseMark bool
 }
 
 var _ Process = (*VisitExchange)(nil)
@@ -144,6 +150,7 @@ func NewVisitExchange(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts Agent
 		countV:    1,
 		occInf:    newEpochMark(g.N()),
 		uninfV:    make([]graph.Vertex, 0, g.N()-1),
+		fuseMark:  true,
 	}
 	v.procs = par.Procs()
 	v.markFn = v.markShard
@@ -195,8 +202,22 @@ func (v *VisitExchange) AgentCount() int { return v.walks.N() }
 // Step implements Process.
 func (v *VisitExchange) Step() {
 	v.round++
-	v.walks.Step(nil)
 	na := v.walks.N()
+	// Once every agent is informed — a permanent state without churn, and
+	// the common regime through the Ω(n) broadcast tails of Fig. 1c/1d —
+	// pass 1's "stamp every informed agent's position" is exactly "stamp
+	// every agent's destination", which the walk step can do in the same
+	// pass that writes positions. This saves the extra sweep over all
+	// agent positions every remaining round; draws are untouched, so
+	// results are bit-identical to the unfused path (pinned by
+	// TestVisitExchangeFusedMarkEquivalence).
+	fused := v.fuseMark && v.opts.ChurnRate == 0 && v.countA == na && v.countV < v.g.N()
+	if fused {
+		v.occInf.next()
+		v.walks.StepStamped(v.occInf.stamp, v.occInf.epoch)
+	} else {
+		v.walks.Step(nil)
+	}
 	v.messages += int64(na)
 	// Churned agents are fresh and uninformed.
 	for _, id := range v.walks.Respawned() {
@@ -217,17 +238,21 @@ func (v *VisitExchange) Step() {
 	// stamp every informed agent's position, then sweep the uninformed
 	// vertex list for stamped entries. Skipped when it cannot change
 	// anything (no informed agents, or every vertex already informed).
+	// On the fused path the stamping already happened inside the walk
+	// step; only the sweep remains.
 	if v.countA > 0 && v.countV < v.g.N() {
-		v.occInf.next()
-		if v.countA == na {
-			// Every agent is informed (the common state through the
-			// Ω(n) tails of Fig. 1c/1d): stamp positions directly,
-			// skipping the informedA word decode.
-			v.markAllShard(0, 0, na)
-		} else if shards == 1 {
-			v.markShardSerial(0, words)
-		} else {
-			par.DoN(shards, words, v.markFn)
+		if !fused {
+			v.occInf.next()
+			if v.countA == na {
+				// Every agent is informed (the common state through the
+				// Ω(n) tails of Fig. 1c/1d): stamp positions directly,
+				// skipping the informedA word decode.
+				v.markAllShard(0, 0, na)
+			} else if shards == 1 {
+				v.markShardSerial(0, words)
+			} else {
+				par.DoN(shards, words, v.markFn)
+			}
 		}
 		list := v.uninfV
 		for k := 0; k < len(list); {

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// The fused-mark contract: once every agent is informed, VisitExchange
+// folds the pass-1 occupancy stamping into the walk step
+// (agents.StepStamped). Draws are keyed (seed, agent, round) either way,
+// so the full Result — Rounds, Messages, AllAgentsRound, History — must be
+// bit-identical to the separate-pass path, at any GOMAXPROCS.
+func TestVisitExchangeFusedMarkEquivalence(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Star(96),
+		graph.DoubleStar(48),
+		graph.Hypercube(6),
+	}
+	opts := []AgentOptions{
+		{},             // simple walks, alpha 1
+		{Lazy: LazyOn}, // exercises the lazy stamp loop
+		{Alpha: 2.0},   // more agents than vertices
+		{Count: 5},     // sparse agents: fused regime hits late
+	}
+	for _, procs := range []int{1, 8} {
+		for _, g := range graphs {
+			for oi, o := range opts {
+				run := func(fuse bool) Result {
+					return atGOMAXPROCS(t, procs, func() Result {
+						v, err := NewVisitExchange(g, 0, xrand.New(99), o)
+						if err != nil {
+							t.Fatal(err)
+						}
+						v.fuseMark = fuse
+						return Run(g, v, 0)
+					})
+				}
+				fused, unfused := run(true), run(false)
+				if !reflect.DeepEqual(fused, unfused) {
+					t.Errorf("procs=%d %s opts[%d]: fused and unfused results differ:\nfused   %+v\nunfused %+v",
+						procs, g.Name(), oi, fused, unfused)
+				}
+				if !fused.Completed {
+					t.Errorf("procs=%d %s opts[%d]: run did not complete", procs, g.Name(), oi)
+				}
+			}
+		}
+	}
+}

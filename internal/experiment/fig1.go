@@ -14,12 +14,16 @@ import (
 // protocol.
 type fig1Family struct {
 	id, title, ref string
-	paramName      string
-	paramsFull     []int
-	paramsSmall    []int
-	build          func(param int) *graph.Graph
-	source         string // landmark name; falls back to vertex 0
-	protos         []Proto
+	// family is the graph.ParseSpec family name; cache keys use the
+	// canonical spec form family:param so the serving layer's spec-driven
+	// requests share the same memoized instances.
+	family      string
+	paramName   string
+	paramsFull  []int
+	paramsSmall []int
+	build       func(param int) *graph.Graph
+	source      string // landmark name; falls back to vertex 0
+	protos      []Proto
 	// expected maps each protocol to the accepted fitted shapes (first
 	// entry is the paper's claim).
 	expected  map[Proto][]string
@@ -42,7 +46,7 @@ func (f fig1Family) run(cfg Config) (*Table, error) {
 	ns := make([]float64, 0, len(params))
 	means := make(map[Proto][]float64, len(f.protos))
 	for i, param := range params {
-		g := cachedGraph(fmt.Sprintf("%s/%d", f.id, param), func() *graph.Graph { return f.build(param) })
+		g := cachedGraph(fmt.Sprintf("%s:%d", f.family, param), func() *graph.Graph { return f.build(param) })
 		src := sourceOr(g, f.source)
 		row := []string{fmt.Sprintf("%d", param), fmt.Sprintf("%d", g.N())}
 		ns = append(ns, float64(g.N()))
@@ -79,6 +83,7 @@ func init() {
 		PaperRef: "Fig. 1(a), Lemma 2",
 		Run: fig1Family{
 			id:          "fig1a-star",
+			family:      "star",
 			title:       "Star S_n: push is Ω(n log n), everything else logarithmic or constant",
 			ref:         "Fig. 1(a), Lemma 2",
 			paramName:   "leaves",
@@ -103,6 +108,7 @@ func init() {
 		PaperRef: "Fig. 1(b), Lemma 3",
 		Run: fig1Family{
 			id:          "fig1b-doublestar",
+			family:      "doublestar",
 			title:       "Double star S²_n: push-pull is Ω(n); agent protocols stay logarithmic",
 			ref:         "Fig. 1(b), Lemma 3",
 			paramName:   "leaves/star",
@@ -127,6 +133,7 @@ func init() {
 		PaperRef: "Fig. 1(c), Lemma 4",
 		Run: fig1Family{
 			id:          "fig1c-heavytree",
+			family:      "heavytree",
 			title:       "Heavy binary tree B_n: visit-exchange is Ω(n); push and leaf-source meet-exchange logarithmic",
 			ref:         "Fig. 1(c), Lemma 4",
 			paramName:   "levels",
@@ -151,6 +158,7 @@ func init() {
 		PaperRef: "Fig. 1(d), Lemma 8",
 		Run: fig1Family{
 			id:          "fig1d-siamese",
+			family:      "siamesetree",
 			title:       "Siamese heavy trees D_n: both agent protocols are Ω(n); rumor spreading logarithmic",
 			ref:         "Fig. 1(d), Lemma 8",
 			paramName:   "levels",
@@ -201,7 +209,7 @@ func runCycleStars(cfg Config) (*Table, error) {
 	}
 	var ns, vx, mx, normRatios []float64
 	for i, k := range params {
-		g := cachedGraph(fmt.Sprintf("fig1e-cyclestars/%d", k), func() *graph.Graph { return graph.CycleStarsCliques(k) })
+		g := cachedGraph(fmt.Sprintf("cyclestars:%d", k), func() *graph.Graph { return graph.CycleStarsCliques(k) })
 		src := sourceOr(g, "cliqueVertex")
 		mv, err := Measure(ProtoVisitX, g, src, core.AgentOptions{}, trials, cfg.Seed+uint64(i))
 		if err != nil {

@@ -3,10 +3,10 @@ package experiment
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"rumor/internal/core"
 	"rumor/internal/graph"
+	"rumor/internal/lru"
 	"rumor/internal/stats"
 	"rumor/internal/xrand"
 )
@@ -104,7 +104,7 @@ type Measurement struct {
 // returns bit-identical results to the serial path at a fraction of the
 // cost; everything else runs per-trial on core.RunMany.
 func Measure(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials int, seed uint64) (Measurement, error) {
-	results, err := runTrials(p, g, src, agentOpts, trials, seed)
+	results, err := runTrials(p, g, src, agentOpts, trials, 0, seed, nil)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -121,23 +121,25 @@ func Measure(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOpti
 
 // runTrials dispatches a protocol sweep to the batched or serial trial
 // engine. The two produce bit-identical results (see core's batched
-// equivalence tests); batching is purely a throughput decision.
-func runTrials(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials int, seed uint64) ([]core.Result, error) {
+// equivalence tests); batching is purely a throughput decision. emit, when
+// non-nil, receives each trial's Result in strict trial order as trials
+// complete.
+func runTrials(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials, maxRounds int, seed uint64, emit core.EmitFunc) ([]core.Result, error) {
 	if agentOpts.ChurnRate == 0 && agentOpts.Observer == nil {
 		switch p {
 		case ProtoVisitX:
-			return core.RunManyBatched(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
+			return core.RunManyBatchedEmit(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
 				return core.NewBatchedVisitExchange(g, src, rngs, agentOpts)
-			}, trials, 0, seed)
+			}, trials, maxRounds, seed, emit)
 		case ProtoMeetX:
-			return core.RunManyBatched(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
+			return core.RunManyBatchedEmit(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
 				return core.NewBatchedMeetExchange(g, src, rngs, agentOpts)
-			}, trials, 0, seed)
+			}, trials, maxRounds, seed, emit)
 		}
 	}
-	return core.RunMany(g, func(rng *xrand.RNG) (core.Process, error) {
+	return core.RunManyEmit(g, func(rng *xrand.RNG) (core.Process, error) {
 		return BuildProcess(p, g, src, rng, agentOpts)
-	}, trials, 0, seed)
+	}, trials, maxRounds, seed, emit)
 }
 
 // fmtMean renders "mean ± ci95".
@@ -180,31 +182,28 @@ func shapeVerdict(ns, means []float64, accepted ...string) string {
 		pure.Shape, affineName, accepted)
 }
 
+// graphCacheCap bounds the graph memoization: a paper-scale sweep touches
+// a few dozen (family, parameter) points, and the serving layer replays
+// arbitrary request mixes against the same cache, so the bound keeps a
+// long-running process from accumulating every graph it ever built. The
+// LRU preserves the earlier sync.Map design's guarantee that concurrent
+// first requests for one key build the graph exactly once (per residency:
+// an evicted key rebuilds on next use).
+const graphCacheCap = 64
+
 // graphCache memoizes experiment graphs. Graphs are immutable and their
 // hot-path caches (packed walk index, stationary alias table) hang off the
 // instance, so sharing one instance per (family, parameter) across sweeps,
 // trials, and repeated experiment runs amortizes both construction and
 // cache building. Deterministic generators only: randomly generated graphs
 // must not be memoized (their identity depends on the seed).
-//
-// Entries hold a per-key sync.Once so concurrent first requests for the
-// same key build the graph exactly once: racing LoadOrStore on the built
-// value would let two goroutines both pay a paper-scale construction and
-// throw one copy away.
-var graphCache sync.Map
-
-type graphCacheEntry struct {
-	once sync.Once
-	g    *graph.Graph
-}
+var graphCache = lru.New[string, *graph.Graph](graphCacheCap)
 
 // cachedGraph returns the memoized graph for key, building it exactly once
-// on first use. Use only for deterministic (parameter-only) generators.
+// on first use (concurrent first callers share one build). Use only for
+// deterministic (parameter-only) generators.
 func cachedGraph(key string, build func() *graph.Graph) *graph.Graph {
-	e, _ := graphCache.LoadOrStore(key, &graphCacheEntry{})
-	ent := e.(*graphCacheEntry)
-	ent.once.Do(func() { ent.g = build() })
-	return ent.g
+	return graphCache.GetOrBuild(key, build)
 }
 
 // sourceOr returns the named landmark, falling back to vertex 0.

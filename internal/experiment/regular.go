@@ -36,7 +36,7 @@ func regularSuite(cfg Config) ([]regularCase, error) {
 		rcSizes = []int{128}
 	}
 	for _, dim := range dims {
-		g := cachedGraph(fmt.Sprintf("hypercube/%d", dim), func() *graph.Graph { return graph.Hypercube(dim) })
+		g := cachedGraph(fmt.Sprintf("hypercube:%d", dim), func() *graph.Graph { return graph.Hypercube(dim) })
 		cases = append(cases, regularCase{name: g.Name(), g: g, d: dim})
 	}
 	rng := xrand.New(xrand.Derive(cfg.Seed, 90001))
@@ -57,7 +57,7 @@ func regularSuite(cfg Config) ([]regularCase, error) {
 		if k < 3 {
 			k = 3
 		}
-		g := cachedGraph(fmt.Sprintf("ringcliques/%d/%d", k, s), func() *graph.Graph { return graph.RingOfCliques(k, s) })
+		g := cachedGraph(fmt.Sprintf("ringcliques:%d,%d", k, s), func() *graph.Graph { return graph.RingOfCliques(k, s) })
 		cases = append(cases, regularCase{name: g.Name(), g: g, d: s + 1})
 	}
 	return cases, nil

@@ -2,14 +2,14 @@ package graph
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"strings"
 
 	"rumor/internal/xrand"
 )
 
-// FromSpec builds a graph from a compact textual description, used by the
-// command-line tools. The grammar is family[:p1[,p2[,p3]]]:
+// The spec grammar is family[:p1[,p2[,p3]]]:
 //
 //	star:L             star with L leaves
 //	doublestar:L       double star, L leaves per star
@@ -30,177 +30,205 @@ import (
 //	barabasi:N,M       preferential attachment, M edges per new vertex
 //	chunglu:N,B,D      Chung-Lu power law, exponent B, average degree D
 //
-// Random families consume randomness from rng.
-func FromSpec(spec string, rng *xrand.RNG) (*Graph, error) {
+// specFamily describes one family of the grammar: its parameter shape
+// (kinds has one letter per parameter: 'i' int, 'f' float), whether its
+// construction consumes randomness, and how to build it from parsed
+// parameters.
+type specFamily struct {
+	usage  string
+	kinds  string
+	random bool
+	build  func(p ParsedSpec, rng *xrand.RNG) (*Graph, error)
+}
+
+// deterministic wraps a parameter-only generator, converting its
+// bad-parameter panics to errors for CLI friendliness.
+func deterministic(f func(p ParsedSpec) *Graph) func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) {
+	return func(p ParsedSpec, _ *xrand.RNG) (g *Graph, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("graph: spec %q: %v", p.Canonical(), r)
+			}
+		}()
+		return f(p), nil
+	}
+}
+
+// specFamilies maps family name to its grammar entry. Iteration never
+// happens over this map directly (ordering comes from specOrder), so the
+// canonical form and usage text stay stable.
+var specFamilies = map[string]specFamily{
+	"star":        {usage: "star:L", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return Star(p.Ints[0]) })},
+	"doublestar":  {usage: "doublestar:L", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return DoubleStar(p.Ints[0]) })},
+	"heavytree":   {usage: "heavytree:LV", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return HeavyBinaryTree(p.Ints[0]) })},
+	"siamesetree": {usage: "siamesetree:LV", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return SiameseHeavyTree(p.Ints[0]) })},
+	"cyclestars":  {usage: "cyclestars:K", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return CycleStarsCliques(p.Ints[0]) })},
+	"complete":    {usage: "complete:N", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return Complete(p.Ints[0]) })},
+	"cycle":       {usage: "cycle:N", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return Cycle(p.Ints[0]) })},
+	"path":        {usage: "path:N", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return Path(p.Ints[0]) })},
+	"bintree":     {usage: "bintree:LV", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return BinaryTree(p.Ints[0]) })},
+	"hypercube":   {usage: "hypercube:D", kinds: "i", build: deterministic(func(p ParsedSpec) *Graph { return Hypercube(p.Ints[0]) })},
+	"torus":       {usage: "torus:R,C", kinds: "ii", build: deterministic(func(p ParsedSpec) *Graph { return Torus2D(p.Ints[0], p.Ints[1]) })},
+	"grid":        {usage: "grid:R,C", kinds: "ii", build: deterministic(func(p ParsedSpec) *Graph { return Grid2D(p.Ints[0], p.Ints[1]) })},
+	"ringcliques": {usage: "ringcliques:K,S", kinds: "ii", build: deterministic(func(p ParsedSpec) *Graph { return RingOfCliques(p.Ints[0], p.Ints[1]) })},
+	"cliquepath":  {usage: "cliquepath:K,S", kinds: "ii", build: deterministic(func(p ParsedSpec) *Graph { return CliquePath(p.Ints[0], p.Ints[1]) })},
+	"randreg": {usage: "randreg:N,D", kinds: "ii", random: true,
+		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) {
+			return RandomRegularConnected(p.Ints[0], p.Ints[1], rng)
+		}},
+	"gnp": {usage: "gnp:N,P", kinds: "if", random: true,
+		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) { return ErdosRenyi(p.Ints[0], p.Floats[0], rng) }},
+	"barabasi": {usage: "barabasi:N,M", kinds: "ii", random: true,
+		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) { return BarabasiAlbert(p.Ints[0], p.Ints[1], rng) }},
+	"chunglu": {usage: "chunglu:N,B,D", kinds: "iff", random: true,
+		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) {
+			return ChungLu(p.Ints[0], p.Floats[0], p.Floats[1], rng)
+		}},
+}
+
+// specOrder fixes the presentation order of SpecFamilies.
+var specOrder = []string{
+	"star", "doublestar", "heavytree", "siamesetree", "cyclestars",
+	"complete", "cycle", "path", "bintree", "hypercube", "torus", "grid",
+	"ringcliques", "cliquepath", "randreg", "gnp", "chunglu", "barabasi",
+}
+
+// ParsedSpec is a validated, normalized graph spec. Two textual specs that
+// differ only in case, whitespace, or numeric rendering ("0.20" vs "0.2")
+// parse to ParsedSpecs with identical Canonical forms and Hashes — the
+// stability the serving layer's request deduplication is keyed on.
+type ParsedSpec struct {
+	// Family is the lowercased family name.
+	Family string
+	// Ints holds the integer parameters in positional order.
+	Ints []int
+	// Floats holds the float parameters in positional order.
+	Floats []float64
+	// kinds mirrors specFamily.kinds, for canonical rendering.
+	kinds string
+	// random records whether building consumes randomness.
+	random bool
+}
+
+// ParseSpec validates and normalizes a textual graph spec without building
+// the graph. It checks family, arity, and parameter syntax; value-range
+// errors surface when the graph is built.
+func ParseSpec(spec string) (ParsedSpec, error) {
 	name, args, _ := strings.Cut(spec, ":")
 	name = strings.ToLower(strings.TrimSpace(name))
+	fam, ok := specFamilies[name]
+	if !ok {
+		return ParsedSpec{}, fmt.Errorf("graph: unknown family %q (see the ParseSpec grammar)", name)
+	}
 	var parts []string
 	if args != "" {
 		parts = strings.Split(args, ",")
 	}
-	ints := func(want int) ([]int, error) {
-		if len(parts) != want {
-			return nil, fmt.Errorf("graph: spec %q wants %d parameters, got %d", spec, want, len(parts))
-		}
-		out := make([]int, want)
-		for i, p := range parts {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
+	if len(parts) != len(fam.kinds) {
+		return ParsedSpec{}, fmt.Errorf("graph: spec %q wants %d parameters, got %d", spec, len(fam.kinds), len(parts))
+	}
+	p := ParsedSpec{Family: name, kinds: fam.kinds, random: fam.random}
+	for i, raw := range parts {
+		raw = strings.TrimSpace(raw)
+		switch fam.kinds[i] {
+		case 'i':
+			v, err := strconv.Atoi(raw)
 			if err != nil {
-				return nil, fmt.Errorf("graph: spec %q parameter %q: %w", spec, p, err)
+				return ParsedSpec{}, fmt.Errorf("graph: spec %q parameter %q: %w", spec, raw, err)
 			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	// Deterministic families panic on bad parameter ranges; convert that to
-	// an error for CLI friendliness.
-	build := func(f func() *Graph) (g *Graph, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("graph: spec %q: %v", spec, r)
+			p.Ints = append(p.Ints, v)
+		case 'f':
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return ParsedSpec{}, fmt.Errorf("graph: spec %q parameter %q: %w", spec, raw, err)
 			}
-		}()
-		return f(), nil
+			p.Floats = append(p.Floats, v)
+		}
 	}
-	switch name {
-	case "star":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return Star(p[0]) })
-	case "doublestar":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return DoubleStar(p[0]) })
-	case "heavytree":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return HeavyBinaryTree(p[0]) })
-	case "siamesetree":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return SiameseHeavyTree(p[0]) })
-	case "cyclestars":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return CycleStarsCliques(p[0]) })
-	case "complete":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return Complete(p[0]) })
-	case "cycle":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return Cycle(p[0]) })
-	case "path":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return Path(p[0]) })
-	case "bintree":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return BinaryTree(p[0]) })
-	case "hypercube":
-		p, err := ints(1)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return Hypercube(p[0]) })
-	case "torus":
-		p, err := ints(2)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return Torus2D(p[0], p[1]) })
-	case "grid":
-		p, err := ints(2)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return Grid2D(p[0], p[1]) })
-	case "ringcliques":
-		p, err := ints(2)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return RingOfCliques(p[0], p[1]) })
-	case "cliquepath":
-		p, err := ints(2)
-		if err != nil {
-			return nil, err
-		}
-		return build(func() *Graph { return CliquePath(p[0], p[1]) })
-	case "randreg":
-		p, err := ints(2)
-		if err != nil {
-			return nil, err
-		}
-		return RandomRegularConnected(p[0], p[1], rng)
-	case "gnp":
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("graph: spec %q wants 2 parameters", spec)
-		}
-		n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
-		if err != nil {
-			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
-		}
-		prob, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
-		}
-		return ErdosRenyi(n, prob, rng)
-	case "barabasi":
-		p, err := ints(2)
-		if err != nil {
-			return nil, err
-		}
-		return BarabasiAlbert(p[0], p[1], rng)
-	case "chunglu":
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("graph: spec %q wants 3 parameters", spec)
-		}
-		n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
-		if err != nil {
-			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
-		}
-		beta, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
-		}
-		avg, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: spec %q: %w", spec, err)
-		}
-		return ChungLu(n, beta, avg, rng)
-	default:
-		return nil, fmt.Errorf("graph: unknown family %q (see FromSpec doc for the grammar)", name)
-	}
+	return p, nil
 }
 
-// SpecFamilies lists the family names FromSpec accepts, for CLI usage text.
-func SpecFamilies() []string {
-	return []string{
-		"star:L", "doublestar:L", "heavytree:LV", "siamesetree:LV",
-		"cyclestars:K", "complete:N", "cycle:N", "path:N", "bintree:LV",
-		"hypercube:D", "torus:R,C", "grid:R,C", "ringcliques:K,S",
-		"cliquepath:K,S", "randreg:N,D", "gnp:N,P", "chunglu:N,B,D",
-		"barabasi:N,M",
+// Canonical returns the canonical textual form of the spec: lowercased
+// family, no whitespace, integers in base 10, floats in shortest
+// round-trip rendering. Parsing the canonical form yields an identical
+// ParsedSpec.
+func (p ParsedSpec) Canonical() string {
+	var sb strings.Builder
+	sb.WriteString(p.Family)
+	ii, fi := 0, 0
+	for i := range p.kinds {
+		if i == 0 {
+			sb.WriteByte(':')
+		} else {
+			sb.WriteByte(',')
+		}
+		switch p.kinds[i] {
+		case 'i':
+			sb.WriteString(strconv.Itoa(p.Ints[ii]))
+			ii++
+		case 'f':
+			sb.WriteString(strconv.FormatFloat(p.Floats[fi], 'g', -1, 64))
+			fi++
+		}
 	}
+	return sb.String()
+}
+
+// Random reports whether building this spec consumes randomness from the
+// RNG — true for the generated families (randreg, gnp, barabasi, chunglu),
+// whose identity depends on the build seed. Deterministic specs are safe
+// to memoize by Canonical form alone.
+func (p ParsedSpec) Random() bool { return p.random }
+
+// Hash returns a stable 64-bit FNV-1a hash of the canonical form. It
+// depends only on the canonical string, so it is identical across
+// processes, platforms, and releases that keep the grammar. It is a
+// compact spec identity for callers that want a fixed-width key; note
+// the graph cache keys on Canonical directly and the serving layer
+// hashes the full request spec (serve.jobID), not this value.
+func (p ParsedSpec) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.Canonical()))
+	return h.Sum64()
+}
+
+// Build constructs the graph. Random families consume randomness from rng;
+// deterministic families ignore it (and convert bad-parameter panics to
+// errors).
+func (p ParsedSpec) Build(rng *xrand.RNG) (*Graph, error) {
+	fam, ok := specFamilies[p.Family]
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown family %q (see the ParseSpec grammar)", p.Family)
+	}
+	return fam.build(p, rng)
+}
+
+// CanonicalSpec parses spec and returns its canonical form.
+func CanonicalSpec(spec string) (string, error) {
+	p, err := ParseSpec(spec)
+	if err != nil {
+		return "", err
+	}
+	return p.Canonical(), nil
+}
+
+// FromSpec builds a graph from a compact textual description (see the
+// grammar above): ParseSpec followed by Build. Random families consume
+// randomness from rng.
+func FromSpec(spec string, rng *xrand.RNG) (*Graph, error) {
+	p, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build(rng)
+}
+
+// SpecFamilies lists the family usages FromSpec accepts, for CLI usage
+// text.
+func SpecFamilies() []string {
+	out := make([]string, len(specOrder))
+	for i, name := range specOrder {
+		out[i] = specFamilies[name].usage
+	}
+	return out
 }

@@ -105,3 +105,92 @@ func TestFromSpecBarabasi(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCanonicalSpecNormalizes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"star:10", "star:10"},
+		{" Star : 10 ", "star:10"},
+		{"GNP:30,0.20", "gnp:30,0.2"},
+		{"gnp:30,.2", "gnp:30,0.2"},
+		{"chunglu:50, 2.50 ,5.0", "chunglu:50,2.5,5"},
+		{"Torus: 3 , 4", "torus:3,4"},
+	}
+	for _, c := range cases {
+		got, err := CanonicalSpec(c.in)
+		if err != nil {
+			t.Errorf("CanonicalSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("CanonicalSpec(%q) = %q, want %q", c.in, got, c.want)
+		}
+		// Canonical forms are fixed points.
+		again, err := CanonicalSpec(got)
+		if err != nil || again != got {
+			t.Errorf("CanonicalSpec(%q) = %q, %v: not a fixed point", got, again, err)
+		}
+	}
+}
+
+func TestSpecHashStable(t *testing.T) {
+	a, err := ParseSpec(" Star : 12 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("star:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("equivalent specs hash differently: %x vs %x", a.Hash(), b.Hash())
+	}
+	c, _ := ParseSpec("star:13")
+	if a.Hash() == c.Hash() {
+		t.Fatal("distinct specs collide")
+	}
+	// Pin one value so accidental grammar or hash changes are caught: the
+	// hash is part of the serving layer's cache identity.
+	if got := b.Hash(); got != 0xcfcae2e1de7ef3d6 {
+		t.Fatalf("Hash(star:12) = %#x, want the pinned value (grammar/hash change?)", got)
+	}
+}
+
+func TestParsedSpecRandom(t *testing.T) {
+	for spec, want := range map[string]bool{
+		"star:10":      false,
+		"hypercube:4":  false,
+		"randreg:20,4": true,
+		"gnp:30,0.2":   true,
+		"barabasi:9,2": true,
+	} {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Random() != want {
+			t.Errorf("Random(%s) = %v, want %v", spec, p.Random(), want)
+		}
+	}
+}
+
+func TestFromSpecMatchesParseBuild(t *testing.T) {
+	// FromSpec must be exactly ParseSpec+Build: same graph for the same
+	// rng seed, including for random families.
+	for _, spec := range []string{"doublestar:6", "randreg:24,4"} {
+		g1, err := FromSpec(spec, xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := p.Build(xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.N() != g2.N() || g1.M() != g2.M() {
+			t.Errorf("%s: FromSpec and ParseSpec+Build disagree", spec)
+		}
+	}
+}

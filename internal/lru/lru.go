@@ -1,0 +1,228 @@
+// Package lru provides the size-bounded LRU cache behind the serving
+// layer's completed-result cache and the experiment harness's graph
+// memoization.
+//
+// Beyond plain Get/Put recency semantics, GetOrBuild gives each key
+// build-exactly-once semantics under concurrency: the first caller for a
+// key runs the builder while every concurrent caller for the same key
+// blocks on the entry's sync.Once and receives the same value — the
+// property the graph cache needs so two racing sweeps never both pay a
+// paper-scale construction. Only completed entries occupy recency slots:
+// an in-flight build neither evicts anything nor can be evicted, and a
+// caller that decides its built value is not worth keeping (a failed
+// graph construction, say) can Delete the key without ever having
+// displaced a resident entry.
+//
+// Values are immutable once published: Put replaces the entry rather
+// than overwriting its value, so readers that obtained an entry never
+// race a writer.
+package lru
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one cached key. Entries are nodes of an intrusive doubly-linked
+// recency list guarded by the cache mutex; val is written exactly once,
+// before ready is set, and never mutated afterwards (ready.Load provides
+// the acquire edge for lock-free reads after once.Do).
+type entry[K comparable, V any] struct {
+	key        K
+	once       sync.Once
+	ready      atomic.Bool
+	val        V
+	err        error // failed build (GetOrBuildErr); never cached
+	linked     bool  // member of the recency list (completed entries only)
+	prev, next *entry[K, V]
+}
+
+// Cache is a size-bounded LRU map. The zero value is not usable; construct
+// with New. All methods are safe for concurrent use. Builders passed to
+// GetOrBuild run outside the cache lock, so they may themselves use the
+// cache (for different keys) without deadlock.
+type Cache[K comparable, V any] struct {
+	mu        sync.Mutex
+	cap       int
+	m         map[K]*entry[K, V]
+	head      *entry[K, V] // most recently used
+	tail      *entry[K, V] // least recently used
+	nlinked   int          // completed entries in the recency list
+	evictions int64
+}
+
+// New returns a cache bounded to cap completed entries. cap < 1 is
+// treated as 1: a cache that can hold nothing would turn GetOrBuild into
+// "build every time" while still paying the locking.
+func New[K comparable, V any](cap int) *Cache[K, V] {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Cache[K, V]{cap: cap, m: make(map[K]*entry[K, V], cap+1)}
+}
+
+// Get returns the value cached for k, marking it most recently used.
+// Entries whose builder has not finished yet are reported as misses: the
+// value does not exist until the builder returns.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok || !e.ready.Load() || e.err != nil {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put caches v under k, marks it most recently used, and evicts
+// least-recently-used entries beyond capacity. Any previous entry —
+// completed or with its builder still in flight — is replaced, never
+// mutated: builders already holding the old entry still hand their
+// callers the value they build.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.detach(k)
+	e := &entry[K, V]{key: k, val: v}
+	e.once.Do(func() {})
+	e.ready.Store(true)
+	c.m[k] = e
+	c.link(e)
+}
+
+// Delete removes k if present. An in-flight build of k finishes normally
+// for the callers sharing it but is not retained.
+func (c *Cache[K, V]) Delete(k K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.detach(k)
+}
+
+// GetOrBuild returns the value cached for k, building it with build on
+// first use. Concurrent callers for the same key share one build: all
+// block until the first caller's build returns, then receive its value.
+// build runs outside the cache lock. The entry takes a recency slot (and
+// may evict) only once the build completes.
+func (c *Cache[K, V]) GetOrBuild(k K, build func() V) V {
+	v, _ := c.GetOrBuildErr(k, func() (V, error) { return build(), nil })
+	return v
+}
+
+// GetOrBuildErr is GetOrBuild for fallible builders. A build error is
+// returned to every caller sharing that build and is never cached: the
+// failed entry takes no recency slot (so a stream of invalid keys cannot
+// evict resident values) and the key rebuilds on next use.
+func (c *Cache[K, V]) GetOrBuildErr(k K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if ok {
+		if e.ready.Load() {
+			c.moveToFront(e)
+		}
+	} else {
+		e = &entry[K, V]{key: k}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = build()
+		e.ready.Store(true)
+		c.mu.Lock()
+		// Link only if the build succeeded and the key still maps to this
+		// entry (it may have been Put-replaced or Deleted while building);
+		// forget failures entirely.
+		if c.m[k] == e {
+			if e.err != nil {
+				delete(c.m, k)
+			} else {
+				c.link(e)
+			}
+		}
+		c.mu.Unlock()
+	})
+	return e.val, e.err
+}
+
+// Len returns the number of resident entries (including ones whose
+// builders are still running).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Cap returns the capacity bound.
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Evictions returns the number of entries evicted so far.
+func (c *Cache[K, V]) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// detach removes k's entry from the map and, if linked, the recency
+// list. Caller holds mu.
+func (c *Cache[K, V]) detach(k K) {
+	e, ok := c.m[k]
+	if !ok {
+		return
+	}
+	if e.linked {
+		c.unlink(e)
+	}
+	delete(c.m, k)
+}
+
+// link puts a completed entry at the front of the recency list and
+// evicts past capacity. Caller holds mu.
+func (c *Cache[K, V]) link(e *entry[K, V]) {
+	e.linked = true
+	c.nlinked++
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	// Evict from the tail; only linked (completed) entries are in the
+	// list, so in-flight builds are never displaced.
+	for c.nlinked > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.evictions++
+	}
+}
+
+// moveToFront marks e most recently used. Caller holds mu. unlink+link
+// leaves nlinked net-unchanged, so link's eviction loop no-ops.
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if !e.linked || c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.link(e)
+}
+
+// unlink removes e from the recency list. Caller holds mu.
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.linked = false
+	c.nlinked--
+}

@@ -1,0 +1,247 @@
+package lru
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPutRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Fatalf("replace: got %d, want 9", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetOrBuildBuildsOnce(t *testing.T) {
+	c := New[string, int](4)
+	var builds atomic.Int32
+	const workers = 16
+	var wg sync.WaitGroup
+	got := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = c.GetOrBuild("k", func() int {
+				builds.Add(1)
+				return 42
+			})
+		}(w)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+	for w, v := range got {
+		if v != 42 {
+			t.Fatalf("worker %d got %d", w, v)
+		}
+	}
+}
+
+func TestGetOrBuildEvictionRebuilds(t *testing.T) {
+	c := New[int, int](2)
+	builds := 0
+	get := func(k int) int {
+		return c.GetOrBuild(k, func() int { builds++; return k * 10 })
+	}
+	get(1)
+	get(2)
+	get(3) // evicts 1
+	if builds != 3 {
+		t.Fatalf("builds = %d, want 3", builds)
+	}
+	if v := get(1); v != 10 { // rebuilt after eviction
+		t.Fatalf("get(1) = %d, want 10", v)
+	}
+	if builds != 4 {
+		t.Fatalf("builds after rebuild = %d, want 4", builds)
+	}
+	if v := get(3); v != 30 { // still resident: no rebuild
+		t.Fatalf("get(3) = %d", v)
+	}
+	if builds != 4 {
+		t.Fatalf("builds after hit = %d, want 4", builds)
+	}
+}
+
+func TestGetDoesNotSeeUnfinishedBuild(t *testing.T) {
+	c := New[string, int](2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		done <- c.GetOrBuild("slow", func() int {
+			close(started)
+			<-release
+			return 7
+		})
+	}()
+	<-started
+	if _, ok := c.Get("slow"); ok {
+		t.Fatal("Get returned a value whose build has not finished")
+	}
+	close(release)
+	if v := <-done; v != 7 {
+		t.Fatalf("build returned %d", v)
+	}
+	if v, ok := c.Get("slow"); !ok || v != 7 {
+		t.Fatalf("Get after build = %d, %v", v, ok)
+	}
+}
+
+func TestCapFloor(t *testing.T) {
+	c := New[int, int](0)
+	if c.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", c.Cap())
+	}
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestPutDuringInflightBuild(t *testing.T) {
+	// Put on a key whose builder is still running must detach the
+	// in-flight entry completely: its later "eviction" must not delete the
+	// fresh entry's map slot or skew the recency list.
+	c := New[string, int](2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		done <- c.GetOrBuild("k", func() int {
+			close(started)
+			<-release
+			return 1
+		})
+	}()
+	<-started
+	c.Put("k", 2)
+	close(release)
+	if v := <-done; v != 1 {
+		t.Fatalf("in-flight builder's caller got %d, want its own build (1)", v)
+	}
+	if v, ok := c.Get("k"); !ok || v != 2 {
+		t.Fatalf("Get(k) = %d, %v; want the Put value 2", v, ok)
+	}
+	// Churn the cache past capacity; the map and list must stay in sync.
+	c.Put("a", 10)
+	c.Put("b", 20) // capacity 2: evicts the least recently used of k/a
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b missing after churn")
+	}
+	c.Put("c", 30)
+	c.Put("d", 40)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after more churn, want 2", c.Len())
+	}
+	if v, ok := c.Get("d"); !ok || v != 40 {
+		t.Fatalf("Get(d) = %d, %v", v, ok)
+	}
+}
+
+func TestGetOrBuildErrNotCached(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("resident", 1)
+	c.Put("resident2", 2)
+	boom := errors.New("boom")
+	builds := 0
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrBuildErr("bad", func() (int, error) { builds++; return 0, boom })
+		if err != boom || v != 0 {
+			t.Fatalf("attempt %d: got %d, %v", i, v, err)
+		}
+	}
+	if builds != 3 {
+		t.Fatalf("failed builds ran %d times, want 3 (errors are not cached)", builds)
+	}
+	// Failures never take recency slots: the residents must survive.
+	if _, ok := c.Get("resident"); !ok {
+		t.Fatal("failed builds evicted a resident entry")
+	}
+	if _, ok := c.Get("resident2"); !ok {
+		t.Fatal("failed builds evicted a resident entry")
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("failed key reported as cached")
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("Evictions = %d, want 0", c.Evictions())
+	}
+	// A later successful build caches normally.
+	v, err := c.GetOrBuildErr("bad", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recovery build: %d, %v", v, err)
+	}
+	if v, ok := c.Get("bad"); !ok || v != 7 {
+		t.Fatalf("recovered key not cached: %d, %v", v, ok)
+	}
+}
+
+func TestGetOrBuildErrConcurrentFailure(t *testing.T) {
+	// Every concurrent caller of a failing key gets the error — whether it
+	// shared the in-flight build or arrived after the failure was dropped
+	// from the map and triggered a rebuild (failures are not cached, so
+	// the build count here is 1..workers by design).
+	c := New[string, int](2)
+	boom := errors.New("boom")
+	const workers = 8
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = c.GetOrBuildErr("k", func() (int, error) {
+				return 0, boom
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != boom {
+			t.Fatalf("worker %d: err = %v, want boom", w, err)
+		}
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed key cached")
+	}
+}

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"rumor/internal/experiment"
+)
+
+// sweepLimit bounds the cross-product size of one /v1/sweep request.
+const sweepLimit = 1024
+
+// maxBodyBytes bounds request bodies; specs are a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/run              run (or join, or replay) one spec; ?wait=0 for async
+//	POST /v1/sweep            submit a cross-product of specs, returns job ids
+//	GET  /v1/jobs/{id}        job status; embeds the result when done
+//	GET  /v1/jobs/{id}/stream NDJSON per-trial results, replay + follow
+//	GET  /v1/healthz          liveness + counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// errorJSON is the error body of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(errorJSON{Error: fmt.Sprintf(format, args...)})
+	w.Write(append(b, '\n'))
+}
+
+// writeJSON marshals v; for pre-marshaled bodies use writeRaw so cached
+// bytes stay byte-identical.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(mustMarshalLine(v))
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// decodeBody strictly decodes a single JSON object into v: unknown
+// fields are rejected (a typoed knob silently meaning "default" would
+// dedup against the wrong simulation), and so is trailing content (a
+// concatenated second request would otherwise be dropped silently).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decode request: unexpected content after the JSON object")
+	}
+	return nil
+}
+
+// decodeSpec overlays the request body onto the shared defaults and
+// normalizes.
+func decodeSpec(r *http.Request) (experiment.RunSpec, error) {
+	spec := experiment.DefaultRunSpec()
+	if err := decodeBody(r, &spec); err != nil {
+		return experiment.RunSpec{}, err
+	}
+	return spec.Normalize()
+}
+
+// submitStatus maps a submission error to an HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleRun serves POST /v1/run. By default it waits for the result and
+// returns the full response body — byte-identical across fresh, deduped,
+// and cached service of the same normalized spec. With ?wait=0 it returns
+// 202 and the job id immediately.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, j, c, src, err := s.submit(spec)
+	if err != nil {
+		writeError(w, submitStatus(err), "%v", err)
+		return
+	}
+	w.Header().Set("X-Rumord-Job", id)
+	w.Header().Set("X-Rumord-Source", string(src))
+	if r.URL.Query().Get("wait") == "0" {
+		writeJSON(w, http.StatusAccepted, jobStatusBody(id, j, c))
+		return
+	}
+	if c == nil {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			// Client gone; the job keeps running for other waiters and the
+			// cache.
+			return
+		}
+		resp, jerr := j.result()
+		if jerr != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", jerr)
+			return
+		}
+		writeRaw(w, http.StatusOK, resp)
+		return
+	}
+	if c.failed() {
+		writeError(w, http.StatusUnprocessableEntity, "%s", c.errMsg)
+		return
+	}
+	writeRaw(w, http.StatusOK, c.resp)
+}
+
+// sweepRequest is the body of POST /v1/sweep: shared defaults plus the
+// axes of a cross-product. Empty axes inherit the default's value.
+type sweepRequest struct {
+	Defaults  experiment.RunSpec `json:"defaults"`
+	Graphs    []string           `json:"graphs"`
+	Protocols []experiment.Proto `json:"protocols,omitempty"`
+	Seeds     []uint64           `json:"seeds,omitempty"`
+}
+
+// sweepPoint reports one submitted point of a sweep.
+type sweepPoint struct {
+	Graph    string           `json:"graph"`
+	Protocol experiment.Proto `json:"protocol"`
+	Seed     uint64           `json:"seed"`
+	Job      string           `json:"job"`
+	Source   string           `json:"source"`
+}
+
+// handleSweep serves POST /v1/sweep: the paper's sweep shape — a list of
+// graphs × protocols × seeds sharing every other knob — submitted as
+// individual jobs that dedup and cache like any other request. Responds
+// 202 with one job id per point; poll or stream each id.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req := sweepRequest{Defaults: experiment.DefaultRunSpec()}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Graphs) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep needs at least one graph")
+		return
+	}
+	protos := req.Protocols
+	if len(protos) == 0 {
+		protos = []experiment.Proto{req.Defaults.Protocol}
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{req.Defaults.Seed}
+	}
+	if n := len(req.Graphs) * len(protos) * len(seeds); n > sweepLimit {
+		writeError(w, http.StatusBadRequest, "sweep of %d points exceeds the limit of %d", n, sweepLimit)
+		return
+	}
+	// Normalize every point before submitting any: validation is pure, so
+	// a bad point rejects the whole sweep with zero side effects.
+	type point struct {
+		spec  experiment.RunSpec
+		proto experiment.Proto
+		seed  uint64
+	}
+	specs := make([]point, 0, len(req.Graphs)*len(protos)*len(seeds))
+	for _, gs := range req.Graphs {
+		for _, p := range protos {
+			for _, seed := range seeds {
+				spec := req.Defaults
+				spec.Graph = gs
+				spec.Protocol = p
+				spec.Seed = seed
+				// A pinned defaults.graphSeed applies to every point (one
+				// random graph swept across protocol seeds); when unset,
+				// Normalize derives it from each point's Seed.
+				spec, err := spec.Normalize()
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "point %s/%s/%d: %v", gs, p, seed, err)
+					return
+				}
+				specs = append(specs, point{spec, p, seed})
+			}
+		}
+	}
+	// Submission has side effects; on a mid-sweep rejection (queue full,
+	// draining) report the already-submitted points alongside the error so
+	// the caller can track the simulations that are running.
+	points := make([]sweepPoint, 0, len(specs))
+	for _, pt := range specs {
+		id, _, _, src, err := s.submit(pt.spec)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(submitStatus(err))
+			w.Write(mustMarshalLine(struct {
+				Error string       `json:"error"`
+				Jobs  []sweepPoint `json:"jobs"`
+			}{fmt.Sprintf("point %s/%s/%d: %v (the listed jobs were already submitted)", pt.spec.Graph, pt.proto, pt.seed, err), points}))
+			return
+		}
+		points = append(points, sweepPoint{
+			Graph: pt.spec.Graph, Protocol: pt.proto, Seed: pt.seed, Job: id, Source: string(src),
+		})
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Jobs []sweepPoint `json:"jobs"`
+	}{points})
+}
+
+// jobStatus is the body of GET /v1/jobs/{id}.
+type jobStatus struct {
+	Job     string          `json:"job"`
+	Status  jobState        `json:"status"`
+	Trials  int             `json:"trials"`
+	Emitted int             `json:"emitted"`
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// jobStatusBody renders the status of a live or completed job (exactly
+// one of j and c is non-nil).
+func jobStatusBody(id string, j *Job, c *completedJob) jobStatus {
+	if j != nil {
+		j.mu.Lock()
+		st := jobStatus{Job: id, Status: j.state, Trials: j.Spec.Trials, Emitted: len(j.lines)}
+		j.mu.Unlock()
+		return st
+	}
+	if c.failed() {
+		return jobStatus{Job: id, Status: stateFailed, Error: c.errMsg, Trials: c.trials, Emitted: len(c.lines)}
+	}
+	return jobStatus{
+		Job: id, Status: stateDone, Emitted: len(c.lines), Trials: c.trials,
+		Result: json.RawMessage(c.resp),
+	}
+}
+
+// handleJob serves GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, c, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatusBody(id, j, c))
+}
+
+// handleStream serves GET /v1/jobs/{id}/stream: NDJSON frames, one per
+// trial in strict trial order, closed by a terminal frame. Completed jobs
+// replay their stored frames — byte-identical to what a live follower of
+// the original run received.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, c, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Rumord-Job", id)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if c != nil {
+		for _, line := range c.lines {
+			w.Write(line)
+		}
+		w.Write(c.final)
+		flush()
+		return
+	}
+	next := 0
+	for {
+		lines, _, final, changed := j.snapshot(next)
+		for _, line := range lines {
+			w.Write(line)
+		}
+		next += len(lines)
+		if len(lines) > 0 {
+			flush()
+		}
+		if final != nil {
+			w.Write(final)
+			flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}{"ok", s.Stats()})
+}

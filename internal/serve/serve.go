@@ -1,0 +1,316 @@
+// Package serve turns the simulator into a long-running service: an
+// HTTP/JSON API over canonicalized experiment.RunSpec requests, with
+// request deduplication, result caching, bounded concurrency, and
+// streaming per-trial results.
+//
+// # Request identity
+//
+// Every request is normalized (experiment.RunSpec.Normalize) and reduced
+// to a canonical JSON encoding whose SHA-256 is the job ID. Two requests
+// that mean the same simulation — differing only in field order, spec
+// whitespace, numeric rendering, or knobs the protocol ignores — get the
+// same ID. That identity drives everything downstream:
+//
+//   - singleflight dedup: N identical in-flight requests share one
+//     simulation (the jobs map holds one Job per ID);
+//   - result caching: completed payloads land in a size-bounded LRU keyed
+//     by the same ID, so repeats are served without simulating;
+//   - determinism: the engines are bit-deterministic for a given spec, so
+//     a fresh, deduplicated, or cached response for the same ID is
+//     byte-identical — pinned by the end-to-end tests.
+//
+// # Execution model
+//
+// Accepted jobs enter a bounded queue consumed by a fixed worker pool
+// sized to the machine (each simulation itself parallelizes across
+// internal/par, so a small number of workers saturates the cores). Trial
+// results are emitted in strict trial order as the engines complete them
+// (core's EmitFunc contract) and appended to the job as pre-marshaled
+// NDJSON frames; GET /v1/jobs/{id}/stream replays the frames and follows
+// live. Shutdown stops intake (503) and drains queued and running jobs
+// without dropping results.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rumor/internal/core"
+	"rumor/internal/experiment"
+	"rumor/internal/lru"
+	"rumor/internal/par"
+)
+
+// keyPrefix versions the request-identity scheme: bump it when the
+// canonical encoding or the response format changes so stale cache
+// identities can never alias new ones.
+const keyPrefix = "rumord/v1|"
+
+// Options configures a Server. The zero value selects all defaults.
+type Options struct {
+	// Workers bounds concurrently running simulations. Default: half the
+	// processors (min 1) — each simulation already shards across cores.
+	Workers int
+	// QueueSize bounds accepted-but-not-started jobs; submissions beyond
+	// it are rejected with 429. Default 256.
+	QueueSize int
+	// CacheSize bounds the completed-result LRU (entries). Default 512.
+	CacheSize int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	w := par.Procs() / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) queueSize() int {
+	if o.QueueSize > 0 {
+		return o.QueueSize
+	}
+	return 256
+}
+
+func (o Options) cacheSize() int {
+	if o.CacheSize > 0 {
+		return o.CacheSize
+	}
+	return 512
+}
+
+// Stats is a snapshot of the server's counters, exposed on /v1/healthz
+// and asserted on by the end-to-end tests (dedup means Simulations stays
+// at 1 no matter how many identical requests arrive).
+type Stats struct {
+	Requests    int64 `json:"requests"`    // normalized submissions
+	Simulations int64 `json:"simulations"` // jobs actually simulated
+	DedupHits   int64 `json:"dedupHits"`   // joined an in-flight job
+	CacheHits   int64 `json:"cacheHits"`   // served from the result LRU
+	Failures    int64 `json:"failures"`    // jobs that ended in error
+	JobsLive    int   `json:"jobsLive"`    // queued + running now
+	CacheLen    int   `json:"cacheLen"`    // completed payloads resident
+	Draining    bool  `json:"draining"`
+}
+
+// ErrDraining rejects submissions during shutdown.
+var ErrDraining = errors.New("serve: shutting down")
+
+// ErrBusy rejects submissions when the job queue is full.
+var ErrBusy = errors.New("serve: job queue full")
+
+// Server is the simulation service. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	opts Options
+
+	mu          sync.Mutex
+	draining    bool
+	queueClosed bool
+	jobs        map[string]*Job // in-flight (queued or running), by ID
+	cache       *lru.Cache[string, *completedJob]
+	queue       chan *Job
+	jobsWG      sync.WaitGroup // accepted jobs not yet finished
+	workerWG    sync.WaitGroup
+
+	requests    atomic.Int64
+	simulations atomic.Int64
+	dedupHits   atomic.Int64
+	cacheHits   atomic.Int64
+	failures    atomic.Int64
+
+	// testRunGate, when set (tests only), runs at the top of each
+	// simulation; blocking it holds jobs in the running state so tests can
+	// overlap requests deterministically.
+	testRunGate func(*Job)
+}
+
+// New starts a Server's worker pool and returns it.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:  opts,
+		jobs:  make(map[string]*Job),
+		cache: lru.New[string, *completedJob](opts.cacheSize()),
+		queue: make(chan *Job, opts.queueSize()),
+	}
+	for i := 0; i < opts.workers(); i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	live, draining := len(s.jobs), s.draining
+	s.mu.Unlock()
+	return Stats{
+		Requests:    s.requests.Load(),
+		Simulations: s.simulations.Load(),
+		DedupHits:   s.dedupHits.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		Failures:    s.failures.Load(),
+		JobsLive:    live,
+		CacheLen:    s.cache.Len(),
+		Draining:    draining,
+	}
+}
+
+// jobID derives the canonical identity of a normalized spec: SHA-256 over
+// the versioned canonical JSON encoding. Struct-field order makes the
+// encoding deterministic; Normalize makes it canonical.
+func jobID(spec experiment.RunSpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// A RunSpec has no unmarshalable fields; this cannot happen.
+		panic(fmt.Sprintf("serve: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte(keyPrefix), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// source labels where a submission's result comes from.
+type source string
+
+const (
+	sourceRun   source = "run"   // fresh simulation
+	sourceDedup source = "dedup" // joined an identical in-flight job
+	sourceCache source = "cache" // completed payload from the LRU
+)
+
+// submit resolves a normalized spec to its job: a cached payload, an
+// identical in-flight job, or a freshly queued one. Exactly one of c and
+// j is non-nil on success.
+func (s *Server) submit(spec experiment.RunSpec) (id string, j *Job, c *completedJob, src source, err error) {
+	id = jobID(spec)
+	s.requests.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cache.Get(id); ok {
+		s.cacheHits.Add(1)
+		return id, nil, c, sourceCache, nil
+	}
+	if j, ok := s.jobs[id]; ok {
+		s.dedupHits.Add(1)
+		return id, j, nil, sourceDedup, nil
+	}
+	if s.draining {
+		return "", nil, nil, "", ErrDraining
+	}
+	j = newJob(id, spec)
+	select {
+	case s.queue <- j:
+	default:
+		return "", nil, nil, "", ErrBusy
+	}
+	s.jobs[id] = j
+	s.jobsWG.Add(1)
+	return id, j, nil, sourceRun, nil
+}
+
+// lookup finds a job by ID, in-flight or completed.
+func (s *Server) lookup(id string) (*Job, *completedJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, nil, true
+	}
+	if c, ok := s.cache.Get(id); ok {
+		return nil, c, true
+	}
+	return nil, nil, false
+}
+
+// worker consumes the job queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob simulates one job and publishes its payload.
+func (s *Server) runJob(j *Job) {
+	defer s.jobsWG.Done()
+	s.mu.Lock()
+	gate := s.testRunGate
+	s.mu.Unlock()
+	if gate != nil {
+		gate(j)
+	}
+	j.setRunning()
+	s.simulations.Add(1)
+	g, src, err := j.Spec.Build()
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	results, err := j.Spec.RunOn(g, src, func(t int, r core.Result) {
+		j.appendLine(mustMarshalLine(toTrialJSON(j.Spec, t, r)))
+	})
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	s.finish(j, mustMarshalLine(buildRunResponse(j.Spec, g, src, results)), nil)
+}
+
+// finish completes j (success or failure), moves its payload from the
+// in-flight map to the completed-result LRU, and wakes streamers.
+func (s *Server) finish(j *Job, resp []byte, err error) {
+	if err != nil {
+		s.failures.Add(1)
+	}
+	final := j.complete(resp, err)
+	c := &completedJob{resp: resp, lines: j.snapshotLines(), final: final, trials: j.Spec.Trials}
+	if err != nil {
+		c.errMsg = err.Error()
+	}
+	s.mu.Lock()
+	delete(s.jobs, j.ID)
+	s.cache.Put(j.ID, c)
+	s.mu.Unlock()
+}
+
+// Shutdown stops intake (submissions return ErrDraining → 503) and waits
+// for every accepted job — queued or running — to finish, so no result is
+// dropped. If ctx expires first it returns ctx.Err() with workers still
+// draining; the process is expected to exit shortly after.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// All submitters observe draining before reaching the queue send, so
+	// closing is race-free once intake stopped and jobs drained. Guarded
+	// by its own flag — not draining — so a retry after a timed-out first
+	// Shutdown still closes the queue and releases the workers.
+	s.mu.Lock()
+	if !s.queueClosed {
+		s.queueClosed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.workerWG.Wait()
+	return nil
+}

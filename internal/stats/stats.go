@@ -320,6 +320,26 @@ func RatioBand(ts, us []float64) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
+// Running accumulates a sample incrementally and produces the exact
+// Summary that Summarize would compute over the values added so far. The
+// serving layer feeds it one broadcast time per emitted trial, so a
+// partially streamed job can report its running distribution at any
+// point. Quantiles require the retained sample, so memory is O(n) — fine
+// at trial counts, by design not a reservoir sketch.
+type Running struct {
+	xs []float64
+}
+
+// Add incorporates x.
+func (r *Running) Add(x float64) { r.xs = append(r.xs, x) }
+
+// N returns the number of samples added.
+func (r *Running) N() int { return len(r.xs) }
+
+// Summary summarizes the samples added so far. Like Summarize it panics on
+// an empty accumulator; callers gate on N.
+func (r *Running) Summary() Summary { return Summarize(r.xs) }
+
 // Welford is a streaming mean/variance accumulator.
 type Welford struct {
 	n    int

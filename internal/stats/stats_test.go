@@ -336,3 +336,19 @@ func TestFitShapeAffineAffineLinear(t *testing.T) {
 		t.Fatalf("affine best = %s, want n", best.Shape)
 	}
 }
+
+func TestRunningMatchesSummarize(t *testing.T) {
+	xs := []float64{9, 2, 7, 4, 4, 11, 3.5, 8, 1, 6}
+	var r Running
+	for i, x := range xs {
+		r.Add(x)
+		if r.N() != i+1 {
+			t.Fatalf("N = %d after %d adds", r.N(), i+1)
+		}
+		got := r.Summary()
+		want := Summarize(xs[:i+1])
+		if got != want {
+			t.Fatalf("after %d adds: Running.Summary() = %+v, want %+v", i+1, got, want)
+		}
+	}
+}
