@@ -1,19 +1,26 @@
 // Command bench runs the protocol micro-benchmarks that gate performance
 // work on the simulation engine and writes the results as JSON (by default
-// BENCH_PR2.json), so the perf trajectory is tracked in-repo from PR 1
+// BENCH_PR4.json), so the perf trajectory is tracked in-repo from PR 1
 // onward.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out BENCH_PR2.json] [-benchtime 2s]
+//	go run ./cmd/bench [-out BENCH_PR4.json] [-benchtime 2s] [-smoke]
+//
+// Before timing anything, bench cross-checks the engines: for every one of
+// the five protocols it runs the same multi-trial sweep through the serial
+// (K = 1 lanes of serial processes) and fused batched paths and exits
+// nonzero if any pair of per-trial results diverges — the batched suite
+// cannot silently rot. -smoke runs only this cross-check (one tiny point
+// per protocol) and skips the timed benchmarks; CI uses it.
 //
 // Each entry records ns/op for the named benchmark plus a baseline and the
 // resulting speedup. Two baseline sources exist: the experiment benchmarks
 // compare against the recorded serial-seed medians from before PR 1
 // (measured on the same single-core reference machine), while the
 // MultiTrial*Batched benchmarks compare against their *Serial counterpart
-// measured in the same process — the unbatched PR-1 trial path versus the
-// PR-2 fused batched engine, on identical hardware and inputs.
+// measured in the same process — the per-trial serial path versus the
+// fused lane engine, on identical hardware and inputs.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -102,20 +110,87 @@ func benchStationaryPlacement(b *testing.B) {
 	}
 }
 
+// Protocol factories shared by the engine cross-check and the multi-trial
+// benchmarks. protoNames lists every protocol the simulator serves; both
+// engine paths are built for each, so a protocol without a fused bundle
+// cannot slip through the cross-check.
+var protoNames = []string{"push", "ppull", "visitx", "meetx", "hybrid"}
+
+func serialFactory(proto string, g *rumor.Graph) func(rng *rumor.RNG) (rumor.Process, error) {
+	return func(rng *rumor.RNG) (rumor.Process, error) {
+		switch proto {
+		case "push":
+			return rumor.NewPush(g, 0, rng, rumor.PushOptions{})
+		case "ppull":
+			return rumor.NewPushPull(g, 0, rng, rumor.PushPullOptions{})
+		case "meetx":
+			return rumor.NewMeetExchange(g, 0, rng, rumor.AgentOptions{})
+		case "hybrid":
+			return rumor.NewHybrid(g, 0, rng, rumor.AgentOptions{})
+		default:
+			return rumor.NewVisitExchange(g, 0, rng, rumor.AgentOptions{})
+		}
+	}
+}
+
+func laneFactory(proto string, g *rumor.Graph) rumor.LaneFactory {
+	return func(rngs []*rumor.RNG) (rumor.LaneProcess, error) {
+		switch proto {
+		case "push":
+			return rumor.NewBatchedPush(g, 0, rngs, rumor.PushOptions{})
+		case "ppull":
+			return rumor.NewBatchedPushPull(g, 0, rngs, rumor.PushPullOptions{})
+		case "meetx":
+			return rumor.NewBatchedMeetExchange(g, 0, rngs, rumor.AgentOptions{})
+		case "hybrid":
+			return rumor.NewBatchedHybrid(g, 0, rngs, rumor.AgentOptions{})
+		default:
+			return rumor.NewBatchedVisitExchange(g, 0, rngs, rumor.AgentOptions{})
+		}
+	}
+}
+
+// verifyEngines runs every protocol's batched bundle against the serial
+// path on the same points and reports the first divergence. The serving
+// and experiment layers rely on this equivalence for cache identity, so a
+// bench run refuses to publish numbers for diverging engines.
+func verifyEngines() error {
+	graphs := []*rumor.Graph{rumor.Star(257), rumor.Hypercube(7)}
+	const trials, seed = 8, 417
+	for _, g := range graphs {
+		for _, proto := range protoNames {
+			serial, err := rumor.RunMany(g, serialFactory(proto, g), trials, 0, seed)
+			if err != nil {
+				return fmt.Errorf("%s on %s: serial: %w", proto, g.Name(), err)
+			}
+			batched, err := rumor.RunManyBatched(g, laneFactory(proto, g), trials, 0, seed)
+			if err != nil {
+				return fmt.Errorf("%s on %s: batched: %w", proto, g.Name(), err)
+			}
+			for t := range serial {
+				if !reflect.DeepEqual(serial[t], batched[t]) {
+					return fmt.Errorf("%s on %s trial %d: batched engine diverges from serial\nserial:  %+v\nbatched: %+v",
+						proto, g.Name(), t, serial[t], batched[t])
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Multi-trial sweeps: the E1/E2-style workload — every figure in the paper
 // is a distribution over many trials of one (graph, protocol, n) point —
-// run once through the unbatched PR-1 trial pool (core.RunMany) and once
-// through the PR-2 fused batched engine (core.RunManyBatched). Identical
-// seeds, identical results (pinned by the core equivalence tests); only
-// throughput differs.
+// run once through serial per-trial processes (core.RunMany, K = 1 lanes)
+// and once through the fused batched bundles (core.RunManyBatched).
+// Identical seeds, identical results (pinned by the cross-check above and
+// core's lane-equivalence tests); only throughput differs.
 
 const multiTrials = 8
 
-// multiTrialCase is one agent-protocol sweep over a deterministic graph
-// family.
+// multiTrialCase is one protocol sweep over a deterministic graph family.
 type multiTrialCase struct {
 	graphs []*rumor.Graph
-	proto  string // "visitx" or "meetx"
+	proto  string
 }
 
 func e1StarSweep() []*rumor.Graph {
@@ -126,18 +201,16 @@ func e2DoubleStarSweep() []*rumor.Graph {
 	return []*rumor.Graph{rumor.DoubleStar(512), rumor.DoubleStar(1024), rumor.DoubleStar(2048)}
 }
 
+func hypercubeSweep() []*rumor.Graph {
+	return []*rumor.Graph{rumor.Hypercube(12), rumor.Hypercube(13), rumor.Hypercube(14)}
+}
+
 func benchMultiTrialSerial(c multiTrialCase) func(b *testing.B) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for gi, g := range c.graphs {
 				seed := uint64(i*len(c.graphs) + gi + 1)
-				_, err := rumor.RunMany(g, func(rng *rumor.RNG) (rumor.Process, error) {
-					if c.proto == "meetx" {
-						return rumor.NewMeetExchange(g, 0, rng, rumor.AgentOptions{})
-					}
-					return rumor.NewVisitExchange(g, 0, rng, rumor.AgentOptions{})
-				}, multiTrials, 0, seed)
-				if err != nil {
+				if _, err := rumor.RunMany(g, serialFactory(c.proto, g), multiTrials, 0, seed); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -150,13 +223,7 @@ func benchMultiTrialBatched(c multiTrialCase) func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for gi, g := range c.graphs {
 				seed := uint64(i*len(c.graphs) + gi + 1)
-				_, err := rumor.RunManyBatched(g, func(rngs []*rumor.RNG) (rumor.BatchedProcess, error) {
-					if c.proto == "meetx" {
-						return rumor.NewBatchedMeetExchange(g, 0, rngs, rumor.AgentOptions{})
-					}
-					return rumor.NewBatchedVisitExchange(g, 0, rngs, rumor.AgentOptions{})
-				}, multiTrials, 0, seed)
-				if err != nil {
+				if _, err := rumor.RunManyBatched(g, laneFactory(c.proto, g), multiTrials, 0, seed); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -165,19 +232,33 @@ func benchMultiTrialBatched(c multiTrialCase) func(b *testing.B) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "per-benchmark target time")
+	smoke := flag.Bool("smoke", false, "run only the engine cross-check (one tiny point per protocol), no timed benchmarks")
 	flag.Parse()
+
+	if err := verifyEngines(); err != nil {
+		fmt.Fprintf(os.Stderr, "engine cross-check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("engine cross-check passed: batched == serial for all five protocols")
+	if *smoke {
+		return
+	}
 
 	e1VisitX := multiTrialCase{graphs: e1StarSweep(), proto: "visitx"}
 	e1MeetX := multiTrialCase{graphs: e1StarSweep(), proto: "meetx"}
 	e2VisitX := multiTrialCase{graphs: e2DoubleStarSweep(), proto: "visitx"}
+	e1Push := multiTrialCase{graphs: e1StarSweep(), proto: "push"}
+	cubePPull := multiTrialCase{graphs: hypercubeSweep(), proto: "ppull"}
+	e1Hybrid := multiTrialCase{graphs: e1StarSweep(), proto: "hybrid"}
+	e2Hybrid := multiTrialCase{graphs: e2DoubleStarSweep(), proto: "hybrid"}
 
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
 		// vsRun names the earlier entry of this run that serves as the
-		// baseline (the unbatched PR-1 path); empty entries use the
+		// baseline (the serial per-trial path); empty entries use the
 		// recorded pre-PR-1 serial-seed medians, when one exists.
 		vsRun string
 	}{
@@ -194,6 +275,14 @@ func main() {
 		{"MultiTrialMeetXStarBatched", benchMultiTrialBatched(e1MeetX), "MultiTrialMeetXStarSerial"},
 		{"MultiTrialVisitXDoubleStarSerial", benchMultiTrialSerial(e2VisitX), ""},
 		{"MultiTrialVisitXDoubleStarBatched", benchMultiTrialBatched(e2VisitX), "MultiTrialVisitXDoubleStarSerial"},
+		{"MultiTrialPushStarSerial", benchMultiTrialSerial(e1Push), ""},
+		{"MultiTrialPushStarBatched", benchMultiTrialBatched(e1Push), "MultiTrialPushStarSerial"},
+		{"MultiTrialPPullHypercubeSerial", benchMultiTrialSerial(cubePPull), ""},
+		{"MultiTrialPPullHypercubeBatched", benchMultiTrialBatched(cubePPull), "MultiTrialPPullHypercubeSerial"},
+		{"MultiTrialHybridStarSerial", benchMultiTrialSerial(e1Hybrid), ""},
+		{"MultiTrialHybridStarBatched", benchMultiTrialBatched(e1Hybrid), "MultiTrialHybridStarSerial"},
+		{"MultiTrialHybridDoubleStarSerial", benchMultiTrialSerial(e2Hybrid), ""},
+		{"MultiTrialHybridDoubleStarBatched", benchMultiTrialBatched(e2Hybrid), "MultiTrialHybridDoubleStarSerial"},
 	}
 
 	rep := report{

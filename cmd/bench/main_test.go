@@ -9,7 +9,9 @@ import (
 )
 
 // TestBenchWritesJSON runs the bench command at a tiny benchtime and
-// checks the JSON report structure.
+// checks the JSON report structure (including the five-protocol engine
+// cross-check every bench run starts with; CI additionally runs the
+// dedicated `go run ./cmd/bench -smoke` step).
 func TestBenchWritesJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

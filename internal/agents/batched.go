@@ -2,6 +2,7 @@ package agents
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rumor/internal/graph"
 	"rumor/internal/par"
@@ -60,6 +61,15 @@ type BatchedWalks struct {
 	// stepFn is stepShard bound once, so sharded dispatch allocates no
 	// closure per round.
 	stepFn func(shard, lo, hi int)
+
+	// stamps/epochs carry StepStamped's per-lane occupancy marking through
+	// the pre-bound stepFn closure; stamps[t] == nil means lane t steps
+	// without stamping. sharedStamp selects atomic stamp stores on the
+	// sharded path (concurrent shards may stamp the same vertex of one
+	// lane's array with the same epoch value).
+	stamps      [][]uint32
+	epochs      []uint32
+	sharedStamp bool
 
 	procs int
 	round int
@@ -158,6 +168,23 @@ func (w *BatchedWalks) Lane(t int) []graph.Vertex {
 // are keyed by round, so skipping rounds never shifts later draws). active
 // must have length K; passing nil steps every lane.
 func (w *BatchedWalks) Step(active []bool) {
+	w.StepStamped(active, nil, nil)
+}
+
+// StepStamped is Step fused with per-lane occupancy stamping: every active
+// lane t with a non-nil stamps[t] additionally gets epochs[t] stored into
+// stamps[t] at each of its agents' destinations, in the same blocked pass
+// that writes the positions. It is the batched counterpart of the serial
+// Walks.StepStamped — protocols whose lanes reach the "every agent
+// informed" regime (the Ω(n) tails of the paper's star-like families) use
+// it to drop those lanes' separate mark-informed-positions pass (see
+// core.BatchedVisitExchange). The walk draws are identical to Step's for
+// every lane, stamped or not, so fusing never perturbs a trajectory.
+//
+// Stores into a lane's stamp array go through atomics on the sharded path
+// (two shards may stamp the same vertex with the same value); readers must
+// run after StepStamped returns. Passing nil stamps is exactly Step.
+func (w *BatchedWalks) StepStamped(active []bool, stamps [][]uint32, epochs []uint32) {
 	w.round++
 	// Swap buffers as the serial stepper does: the fused loop reads prev and
 	// writes pos for active lanes; a lane masked off after stepping needs
@@ -177,11 +204,14 @@ func (w *BatchedWalks) Step(active []bool) {
 	if len(w.laneIDs) == 0 {
 		return
 	}
+	w.stamps, w.epochs = stamps, epochs
 	n := w.count
 	if w.procs == 1 || n <= batchedStepGrain {
+		w.sharedStamp = false
 		w.stepShard(0, 0, n)
 		return
 	}
+	w.sharedStamp = true
 	par.Do(n, batchedStepGrain, w.stepFn)
 }
 
@@ -233,17 +263,38 @@ func (w *BatchedWalks) stepShard(_, lo, hi int) {
 				default:
 					stepBlockLazyAny(pv, ps, idx, nbrs, base)
 				}
-				continue
+			} else {
+				switch class {
+				case classPow2:
+					stepBlockPow2(pv, ps, idx, nbrs, base)
+				case classMul:
+					stepBlockMul(pv, ps, idx, nbrs, base)
+				default:
+					stepBlockAny(pv, ps, idx, nbrs, base)
+				}
 			}
-			switch class {
-			case classPow2:
-				stepBlockPow2(pv, ps, idx, nbrs, base)
-			case classMul:
-				stepBlockMul(pv, ps, idx, nbrs, base)
-			default:
-				stepBlockAny(pv, ps, idx, nbrs, base)
+			if w.stamps != nil && w.stamps[t] != nil {
+				// Stamp the block's fresh destinations while they are still
+				// in registers/L1 — the batched analogue of the serial
+				// stepRangeStamp store.
+				stampBlock(ps, w.stamps[t], w.epochs[t], w.sharedStamp)
 			}
 		}
+	}
+}
+
+// stampBlock stores epoch at each destination in ps. shared selects atomic
+// stores for the sharded path, where concurrent shards may stamp the same
+// vertex (always with the same epoch value).
+func stampBlock(ps []graph.Vertex, stamp []uint32, epoch uint32, shared bool) {
+	if shared {
+		for _, p := range ps {
+			atomic.StoreUint32(&stamp[p], epoch)
+		}
+		return
+	}
+	for _, p := range ps {
+		stamp[p] = epoch
 	}
 }
 
@@ -350,6 +401,9 @@ func (w *BatchedWalks) stepShardGeneral(lo, hi int) {
 				continue
 			}
 			w.pos[off+i] = nb[xrand.ReduceDeg(u, len(nb))]
+		}
+		if w.stamps != nil && w.stamps[t] != nil {
+			stampBlock(w.pos[off+lo:off+hi], w.stamps[t], w.epochs[t], w.sharedStamp)
 		}
 	}
 }

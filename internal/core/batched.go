@@ -1,81 +1,46 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-
 	"rumor/internal/graph"
-	"rumor/internal/par"
-	"rumor/internal/xrand"
 )
 
 // Batched multi-trial execution.
 //
 // Every figure in the paper is a distribution over many independent trials
-// of one (graph, protocol, n) point, and for the agent protocols the
-// dominant per-trial cost is the walk step. RunManyBatched runs trials in
-// lanes of a fused engine (agents.BatchedWalks): one loop over agents
-// steps K trials per round, so the packed walk index and CSR neighbor
-// array are touched by all K lanes while cache-hot and the per-agent loop
-// overhead is paid once per batch instead of once per trial.
+// of one (graph, protocol, n) point, and the dominant per-trial cost is a
+// hot per-unit loop (the walk step for the agent protocols, the dense
+// exchange draw for push-pull and the hybrid). The fused bundles run K
+// trials per round through one blocked loop over units, so the packed walk
+// index and CSR neighbor array are touched by all K lanes while cache-hot
+// and the per-unit loop overhead is paid once per bundle instead of once
+// per trial. All five protocols have fused bundles: BatchedPush,
+// BatchedPushPull, BatchedVisitExchange, BatchedMeetExchange, and
+// BatchedHybrid.
 //
-// The contract is strict bit-equivalence: lane t draws from streams keyed
-// by the trial lane (xrand.TrialSeed(seed, t)) exactly as RunMany's
-// per-trial RNGs would, every lane steps through the same round structure
-// Run drives, and finished lanes are masked out without shifting any
-// sibling's draws (streams are keyed by round, not by draw count). For
-// every protocol, seed, and K, the returned []Result is identical —
-// Rounds, Messages, AllAgentsRound, and the full History per trial — to
-// RunMany's output; the batched determinism tests pin this at GOMAXPROCS
-// 1 and 8 for K in {1, 2, 7}.
+// Since the lane refactor the batched engine is not a separate hierarchy:
+// BatchedProcess is the LaneProcess interface, and RunManyBatched is
+// RunManyLanes at the default bundle width — see lane.go for the engine
+// and the bit-equivalence contract it enforces against the serial path.
 
 // BatchedProcess is a bundle of K independent trials of one protocol
-// stepping in lockstep. Lanes are completely independent simulations; the
-// bundle exists so their hot loops can fuse.
-type BatchedProcess interface {
-	// Name returns the protocol name, identical to the serial Process.
-	Name() string
-	// K returns the number of lanes (trials) in the bundle.
-	K() int
-	// Step executes one synchronous round for every lane with active[t]
-	// true. Inactive lanes freeze: no draws, no messages, no state change.
-	Step(active []bool)
-	// LaneDone reports lane t's broadcast condition.
-	LaneDone(t int) bool
-	// LaneInformedCount returns lane t's informed units (vertices or
-	// agents, matching the serial protocol's InformedCount).
-	LaneInformedCount(t int) int
-	// LaneMessages returns lane t's cumulative message count.
-	LaneMessages(t int) int64
-	// LaneAllAgentsInformed reports whether all of lane t's agents are
-	// informed.
-	LaneAllAgentsInformed(t int) bool
-	// Source returns the source vertex (shared by all lanes).
-	Source() graph.Vertex
-}
+// stepping in lockstep. It is the LaneProcess interface under its
+// historical name.
+type BatchedProcess = LaneProcess
 
 // BatchedFactory builds one batched bundle; rngs[t] is trial t's RNG,
 // derived exactly as RunMany derives it.
-type BatchedFactory func(rngs []*xrand.RNG) (BatchedProcess, error)
-
-// batchK is the number of trials fused per bundle. Eight lanes amortize
-// the agent-loop overhead and keep every lane's positions within a few
-// cache lines per agent block; past ~8 the extra lanes mostly grow the
-// working set.
-const batchK = 8
+type BatchedFactory = LaneFactory
 
 // RunManyBatched executes `trials` independent runs through the fused
 // batched engine, in bundles of up to batchK lanes, and returns results in
 // trial order. Trial t's randomness is keyed xrand.TrialSeed(seed, t)
 // regardless of bundling, so the results equal RunMany's for the same
-// arguments. Bundles run on a GOMAXPROCS-sized pool (the fused rounds
-// additionally shard across internal/par for large agent counts); a
-// factory error stops the pool from claiming further bundles, and the
-// error of the lowest-numbered failing trial is returned, matching
-// RunMany's error discipline.
+// arguments. The bundle width is fixed at batchK (not adaptive) so the
+// error a failing factory reports is independent of GOMAXPROCS; sweeps
+// wanting the adaptive width call RunManyLanes directly, as
+// internal/experiment does.
 func RunManyBatched(g *graph.Graph, factory BatchedFactory, trials, maxRounds int, seed uint64) ([]Result, error) {
-	return RunManyBatchedEmit(g, factory, trials, maxRounds, seed, nil)
+	return RunManyLanes(g, factory, trials, maxRounds, seed, batchK, nil)
 }
 
 // RunManyBatchedEmit is RunManyBatched with streaming: emit (when non-nil)
@@ -84,147 +49,5 @@ func RunManyBatched(g *graph.Graph, factory BatchedFactory, trials, maxRounds in
 // whole bundle finishes — so long-tail lanes don't delay the emission of
 // their siblings beyond the trial-order constraint.
 func RunManyBatchedEmit(g *graph.Graph, factory BatchedFactory, trials, maxRounds int, seed uint64, emit EmitFunc) ([]Result, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
-	}
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds(g)
-	}
-	g.WalkIndex()
-	g.StationaryAlias()
-	par.Refresh()
-	results := make([]Result, trials)
-	em := newOrderedEmitter(emit, results)
-	bundles := (trials + batchK - 1) / batchK
-	errs := make([]error, bundles)
-	runBundle := func(b int) {
-		t0 := b * batchK
-		t1 := t0 + batchK
-		if t1 > trials {
-			t1 = trials
-		}
-		rngs := make([]*xrand.RNG, t1-t0)
-		for i := range rngs {
-			rngs[i] = xrand.New(xrand.TrialSeed(seed, t0+i))
-		}
-		bp, err := factory(rngs)
-		if err != nil {
-			errs[b] = err
-			return
-		}
-		driveBatch(g, bp, maxRounds, results[t0:t1], em, t0)
-	}
-	workers := maxParallel()
-	if workers > bundles {
-		workers = bundles
-	}
-	if workers == 1 {
-		for b := 0; b < bundles; b++ {
-			runBundle(b)
-			if errs[b] != nil {
-				return nil, errs[b]
-			}
-		}
-		return results, nil
-	}
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				b := int(next.Add(1)) - 1
-				if b >= bundles {
-					return
-				}
-				runBundle(b)
-				if errs[b] != nil {
-					failed.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
-// driveBatch steps a bundle until every lane is done or hits maxRounds,
-// filling out (one Result per lane) exactly as Run fills a serial Result:
-// History[0] is the count after round-zero initialization, each stepped
-// round appends one entry, AllAgentsRound is the first round with every
-// agent informed, and a lane cut off at maxRounds reports Completed false.
-// Each lane's Result is finalized — and reported to em as trial t0+lane —
-// the moment the lane completes; lanes still running at maxRounds are
-// finalized at the cutoff.
-func driveBatch(g *graph.Graph, bp BatchedProcess, maxRounds int, out []Result, em *orderedEmitter, t0 int) {
-	k := bp.K()
-	active := make([]bool, k)
-	hists := make([]*[]int, k)
-	// finalize freezes lane t's Result with the given round count. A lane
-	// is never stepped after finalize (Step masks it out), so Messages and
-	// Done are stable from here on.
-	finalize := func(t, rounds int) {
-		res := &out[t]
-		res.Rounds = rounds
-		res.Completed = bp.LaneDone(t)
-		res.Messages = bp.LaneMessages(t)
-		hist := *hists[t]
-		res.History = append(make([]int, 0, len(hist)), hist...)
-		*hists[t] = hist[:0]
-		histPool.Put(hists[t])
-		em.complete(t0 + t)
-	}
-	running := 0
-	for t := 0; t < k; t++ {
-		res := &out[t]
-		res.Protocol = bp.Name()
-		res.Graph = g.Name()
-		res.Source = bp.Source()
-		res.AllAgentsRound = -1
-		if bp.LaneAllAgentsInformed(t) {
-			res.AllAgentsRound = 0
-		}
-		hb := histPool.Get().(*[]int)
-		*hb = append((*hb)[:0], bp.LaneInformedCount(t))
-		hists[t] = hb
-		if !bp.LaneDone(t) {
-			active[t] = true
-			running++
-		} else {
-			finalize(t, 0)
-		}
-	}
-	round := 0
-	for running > 0 && round < maxRounds {
-		bp.Step(active)
-		round++
-		for t := 0; t < k; t++ {
-			if !active[t] {
-				continue
-			}
-			res := &out[t]
-			*hists[t] = append(*hists[t], bp.LaneInformedCount(t))
-			if res.AllAgentsRound < 0 && bp.LaneAllAgentsInformed(t) {
-				res.AllAgentsRound = round
-			}
-			if bp.LaneDone(t) {
-				active[t] = false
-				running--
-				finalize(t, round)
-			}
-		}
-	}
-	for t := 0; t < k; t++ {
-		if active[t] {
-			finalize(t, maxRounds)
-		}
-	}
+	return RunManyLanes(g, factory, trials, maxRounds, seed, batchK, emit)
 }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/par"
+	"rumor/internal/xrand"
+)
+
+// pushLane is one trial's push state: the per-trial half of the serial
+// Push process (informed set, frontier, boundary bookkeeping, messages),
+// with the graph, sampler, and draw machinery shared across the bundle.
+type pushLane struct {
+	informed *bitset.Set
+	frontier []graph.Vertex // all informed vertices, in discovery order
+	boundary bool
+	stagnant int
+	bnd      pushBoundary
+	targets  []graph.Vertex // per-sender draw scratch; -1 marks a failed send
+	messages int64
+}
+
+// BatchedPush runs K push trials in fused lockstep. Lanes step
+// back-to-back within each round — sharded across lanes on multi-core,
+// since each lane writes only its own state — so the packed walk index and
+// CSR neighbor array are touched by all K frontier scans while cache-hot.
+// Every lane carries the full serial boundary-sender optimization (see
+// boundary.go): dense frontier sends until two stagnant rounds, then only
+// informed vertices with an uninformed neighbor draw.
+type BatchedPush struct {
+	g       *graph.Graph
+	src     graph.Vertex
+	opts    PushOptions
+	seeds   []uint64 // per-lane exchange stream seeds, drawn like Push.seed
+	failTh  uint64
+	sampler neighborSampler
+	lanes   []pushLane
+
+	activeIDs []int
+	procs     int
+	laneFn    func(shard, lo, hi int)
+	round     int
+}
+
+var _ LaneProcess = (*BatchedPush)(nil)
+
+// NewBatchedPush builds a K = len(rngs) lane push bundle. Lane t consumes
+// rngs[t] exactly as NewPush would (one stream seed), so lane t replays
+// serial trial t bit for bit. Observer configurations are rejected;
+// callers fall back to serial processes on the K = 1 lane path.
+func NewBatchedPush(g *graph.Graph, s graph.Vertex, rngs []*xrand.RNG, opts PushOptions) (*BatchedPush, error) {
+	if err := checkSource(g, s); err != nil {
+		return nil, err
+	}
+	if opts.FailureProb < 0 || opts.FailureProb >= 1 {
+		return nil, errFailureProb(opts.FailureProb)
+	}
+	if opts.Observer != nil {
+		return nil, fmt.Errorf("push: batched runs do not support observers")
+	}
+	p := &BatchedPush{
+		g:       g,
+		src:     s,
+		opts:    opts,
+		seeds:   make([]uint64, len(rngs)),
+		failTh:  xrand.BernoulliThreshold(opts.FailureProb),
+		sampler: newNeighborSampler(g),
+		lanes:   make([]pushLane, len(rngs)),
+	}
+	p.procs = par.Procs()
+	p.laneFn = p.laneShard
+	for t, rng := range rngs {
+		p.seeds[t] = rng.Uint64()
+		L := &p.lanes[t]
+		L.informed = bitset.New(g.N())
+		L.informed.Set(int(s))
+		L.frontier = append(make([]graph.Vertex, 0, g.N()), s)
+	}
+	return p, nil
+}
+
+// Name implements LaneProcess.
+func (p *BatchedPush) Name() string { return "push" }
+
+// K implements LaneProcess.
+func (p *BatchedPush) K() int { return len(p.lanes) }
+
+// Source implements LaneProcess.
+func (p *BatchedPush) Source() graph.Vertex { return p.src }
+
+// LaneDone implements LaneProcess.
+func (p *BatchedPush) LaneDone(t int) bool { return len(p.lanes[t].frontier) == p.g.N() }
+
+// LaneInformedCount implements LaneProcess (vertices).
+func (p *BatchedPush) LaneInformedCount(t int) int { return len(p.lanes[t].frontier) }
+
+// LaneMessages implements LaneProcess.
+func (p *BatchedPush) LaneMessages(t int) int64 { return p.lanes[t].messages }
+
+// LaneAllAgentsInformed implements LaneProcess: push has no agents.
+func (p *BatchedPush) LaneAllAgentsInformed(int) bool { return false }
+
+// Step implements LaneProcess.
+func (p *BatchedPush) Step(active []bool) {
+	p.round++
+	p.activeIDs = activeLanes(p.activeIDs[:0], active, len(p.lanes))
+	runLanes(p.laneFn, len(p.activeIDs), p.procs)
+}
+
+// laneShard runs the push round for active lanes [lo, hi).
+func (p *BatchedPush) laneShard(_, lo, hi int) {
+	for _, t := range p.activeIDs[lo:hi] {
+		p.stepLane(t)
+	}
+}
+
+// stepLane applies one push round to lane t, mirroring the serial
+// Push.Step structure: snapshot the sender set, draw every sender's
+// neighbor choice from its (seed, vertex, round) stream, then commit in
+// draw order.
+func (p *BatchedPush) stepLane(t int) {
+	L := &p.lanes[t]
+	// Every informed vertex sends (and is counted), but only senders that
+	// can change state need to draw.
+	L.messages += int64(len(L.frontier))
+	senders := L.frontier
+	if L.boundary {
+		senders = L.bnd.active
+	}
+	m := len(senders) // snapshot: commits below may mutate the active set
+	if m == 0 {
+		return
+	}
+	if L.targets == nil {
+		L.targets = make([]graph.Vertex, p.g.N())
+	}
+	p.drawLane(t, senders, L.targets[:m])
+	// Commit in draw order; the informed test makes duplicates commit once.
+	before := len(L.frontier)
+	for _, v := range L.targets[:m] {
+		if v >= 0 && !L.informed.Test(int(v)) {
+			L.informed.Set(int(v))
+			L.frontier = append(L.frontier, v)
+			if L.boundary {
+				L.bnd.onInformed(p.g, v)
+			}
+		}
+	}
+	if !L.boundary {
+		if len(L.frontier) != before {
+			L.stagnant = 0
+		} else if len(L.frontier) != p.g.N() {
+			if L.stagnant++; L.stagnant >= boundaryStagnantRounds {
+				L.bnd.build(p.g, L.frontier)
+				L.boundary = true
+			}
+		}
+	}
+}
+
+// drawLane draws lane t's neighbor choice (and failure coin) for each
+// sender into targets, with exactly the serial Push.drawShard draw
+// discipline.
+func (p *BatchedPush) drawLane(t int, senders, targets []graph.Vertex) {
+	round := uint64(p.round)
+	seed := p.seeds[t]
+	idx, nbrs := p.sampler.idx, p.sampler.nbrs
+	if idx == nil || p.failTh != 0 {
+		for k, u := range senders {
+			s := xrand.NewStream(seed, uint64(u), round)
+			v := p.sampler.sample(u, &s)
+			if p.failTh != 0 && s.Uint64() < p.failTh {
+				v = -1 // transmission lost
+			}
+			targets[k] = v
+		}
+		return
+	}
+	// Reliable-links fast path: one draw per sender, sampling inlined.
+	for k, u := range senders {
+		word := idx[u]
+		if graph.WalkDegreeOne(word) {
+			targets[k] = graph.WalkOnlyNeighbor(word, nbrs)
+		} else {
+			targets[k] = graph.WalkTarget(word, xrand.Mix3(seed, uint64(u), round), nbrs)
+		}
+	}
+}

@@ -14,10 +14,18 @@ import (
 // Batched visit-exchange and meet-exchange bundles. Each lane carries the
 // full per-trial protocol state (informed sets, counts, occupancy marks);
 // the walk step is fused across lanes by agents.BatchedWalks, and the
-// informing passes run per lane — sharded across lanes on multi-core,
-// since lanes touch only their own state — with exactly the serial pass
-// semantics, so every lane's informed sets evolve bit-identically to a
-// serial trial with the same trial RNG.
+// visit-exchange informing passes are fused into cross-lane sweeps: one
+// pass-major sweep per stage (occupancy stamping, uninformed-vertex sweep,
+// agent pickup) over all active lanes, instead of each lane running its
+// full pass sequence in isolation. Lanes in the all-agents-informed regime
+// — the Ω(n) broadcast tails of the paper's star-like families, where the
+// stamping pass used to dominate batched rounds — skip the stamping stage
+// entirely: their marks are written by the fused walk step itself
+// (agents.BatchedWalks.StepStamped), one store per agent in the same pass
+// that writes the position. On multi-core the sweeps shard across lanes,
+// since lanes touch only their own state; every stage keeps exactly the
+// serial pass semantics, so every lane's informed sets evolve
+// bit-identically to a serial trial with the same trial RNG.
 
 // visitLane is one trial's visit-exchange state.
 type visitLane struct {
@@ -38,8 +46,19 @@ type BatchedVisitExchange struct {
 	lanes []visitLane
 
 	activeIDs []int
-	procs     int
-	laneFn    func(shard, lo, hi int)
+	// stamps/epochs/fused carry the per-round StepStamped wiring: lane t
+	// is fused when every one of its agents is informed, in which case the
+	// walk step stamps its occupancy and the stamping stage skips it.
+	stamps [][]uint32
+	epochs []uint32
+	fused  []bool
+	procs  int
+	laneFn func(shard, lo, hi int)
+
+	// fuseMark enables folding fused lanes' occupancy stamping into the
+	// walk step. On by default; the equivalence test clears it to pin the
+	// fused path against the separate-stage path.
+	fuseMark bool
 }
 
 var _ BatchedProcess = (*BatchedVisitExchange)(nil)
@@ -62,6 +81,10 @@ func NewBatchedVisitExchange(g *graph.Graph, s graph.Vertex, rngs []*xrand.RNG, 
 	v := &BatchedVisitExchange{g: g, src: s, walks: w, lanes: make([]visitLane, len(rngs))}
 	v.procs = par.Procs()
 	v.laneFn = v.laneShard
+	v.fuseMark = true
+	v.stamps = make([][]uint32, len(rngs))
+	v.epochs = make([]uint32, len(rngs))
+	v.fused = make([]bool, len(rngs))
 	// The initial uninformed-vertex list is the same for every lane; build
 	// it once and copy.
 	uninf := make([]graph.Vertex, 0, g.N()-1)
@@ -111,83 +134,121 @@ func (v *BatchedVisitExchange) LaneAllAgentsInformed(t int) bool {
 	return v.lanes[t].countA == v.walks.N()
 }
 
-// Step implements BatchedProcess: one fused walk round, then the two
-// informing passes per active lane.
+// Step implements BatchedProcess: one fused walk round — stamping the
+// occupancy of lanes whose agents are all informed in the same pass — then
+// the informing stages as cross-lane sweeps over the active lanes.
 func (v *BatchedVisitExchange) Step(active []bool) {
-	v.walks.Step(active)
+	n := v.g.N()
+	na := v.walks.N()
+	anyFused := false
+	for t := range v.lanes {
+		v.stamps[t] = nil
+		v.fused[t] = false
+		if active != nil && !active[t] {
+			continue
+		}
+		L := &v.lanes[t]
+		if v.fuseMark && L.countA == na && L.countV < n {
+			// Every agent is informed (a permanent state: batched lanes
+			// have no churn), so "stamp every informed agent's position"
+			// is exactly "stamp every agent's destination" — the walk step
+			// does it in the pass that writes positions.
+			L.occInf.next()
+			v.stamps[t] = L.occInf.stamp
+			v.epochs[t] = L.occInf.epoch
+			v.fused[t] = true
+			anyFused = true
+		}
+	}
+	if anyFused {
+		v.walks.StepStamped(active, v.stamps, v.epochs)
+	} else {
+		v.walks.Step(active)
+	}
 	v.activeIDs = activeLanes(v.activeIDs[:0], active, len(v.lanes))
 	runLanes(v.laneFn, len(v.activeIDs), v.procs)
 }
 
-// laneShard runs the informing passes for active lanes [lo, hi).
+// laneShard runs the informing passes for active lanes [lo, hi) as one
+// cross-lane sweep per stage — all lanes' occupancy stamping, then all
+// lanes' uninformed-vertex sweeps, then all lanes' agent pickups — rather
+// than each lane running its full pass sequence in isolation. Stages keep
+// the serial per-lane pass order (a lane's sweep always sees its own
+// completed stamping) while each sweep runs one uniform access pattern
+// across the shard's lanes; with StepStamped fusion the first stage is
+// empty for lanes in the all-informed regime.
 func (v *BatchedVisitExchange) laneShard(_, lo, hi int) {
-	for _, t := range v.activeIDs[lo:hi] {
-		v.stepLane(t)
+	ids := v.activeIDs[lo:hi]
+	for _, t := range ids {
+		v.markLane(t)
+	}
+	for _, t := range ids {
+		v.sweepLane(t)
+	}
+	for _, t := range ids {
+		v.pickupLane(t)
 	}
 }
 
-// stepLane applies one round of visit-exchange informing to lane t,
-// mirroring the serial VisitExchange.Step pass structure.
-func (v *BatchedVisitExchange) stepLane(t int) {
+// markLane is pass 1's stamping for lane t: mark the position of every
+// agent informed in a previous round (one store per agent beats a probe
+// per agent: the stamp retires without a dependent branch). Fused lanes
+// were stamped inside the walk step and are skipped. It also charges the
+// round's token messages, being the first stage of the round.
+func (v *BatchedVisitExchange) markLane(t int) {
 	L := &v.lanes[t]
 	pos := v.walks.Lane(t)
 	na := len(pos)
-	n := v.g.N()
 	L.messages += int64(na)
-
-	// Pass 1: agents informed in a previous round inform their vertex —
-	// stamp every informed agent's position, then sweep the uninformed
-	// vertex list for stamped entries (one store per agent beats a probe
-	// per agent: the stamp retires without a dependent branch).
-	if L.countA > 0 && L.countV < n {
-		L.occInf.next()
-		if L.countA == na {
-			stamp, epoch := L.occInf.stamp, L.occInf.epoch
-			for _, p := range pos {
-				stamp[p] = epoch
-			}
-		} else {
-			for wi, wd := range L.informedA.Words() {
-				for ; wd != 0; wd &= wd - 1 {
-					L.occInf.mark(pos[wi<<6+bits.TrailingZeros64(wd)])
-				}
-			}
-		}
-		list := L.uninfV
-		for k := 0; k < len(list); {
-			p := list[k]
-			if L.occInf.marked(p) {
-				L.informedV.Set(int(p))
-				L.countV++
-				list[k] = list[len(list)-1]
-				list = list[:len(list)-1]
-				continue // re-examine the swapped-in entry
-			}
-			k++
-		}
-		L.uninfV = list
+	if v.fused[t] || L.countA == 0 || L.countV == v.g.N() {
+		return
 	}
-
-	// Pass 2: agents on a vertex informed in a previous or this round
-	// become informed. The predicate reads only informedV and pos, so
-	// committing inline (against a per-word snapshot) equals the serial
-	// collect-then-commit.
-	if L.countA < na {
-		aw := L.informedA.Words()
-		for wi := range aw {
-			inv := ^aw[wi]
-			if rem := na - wi<<6; rem < 64 {
-				inv &= 1<<uint(rem) - 1 // mask ghost bits past the last agent
-			}
-			for ; inv != 0; inv &= inv - 1 {
-				i := wi<<6 + bits.TrailingZeros64(inv)
-				if L.informedV.Test(int(pos[i])) {
-					L.informedA.Set(i)
-					L.countA++
-				}
-			}
+	L.occInf.next()
+	if L.countA == na {
+		stamp, epoch := L.occInf.stamp, L.occInf.epoch
+		for _, p := range pos {
+			stamp[p] = epoch
+		}
+		return
+	}
+	for wi, wd := range L.informedA.Words() {
+		for ; wd != 0; wd &= wd - 1 {
+			L.occInf.mark(pos[wi<<6+bits.TrailingZeros64(wd)])
 		}
 	}
+}
+
+// sweepLane is pass 1's commit for lane t: sweep the uninformed vertex
+// list for stamped entries, swap-removing each one it informs.
+func (v *BatchedVisitExchange) sweepLane(t int) {
+	L := &v.lanes[t]
+	if L.countA == 0 || L.countV == v.g.N() {
+		return
+	}
+	list := L.uninfV
+	for k := 0; k < len(list); {
+		p := list[k]
+		if L.occInf.marked(p) {
+			L.informedV.Set(int(p))
+			L.countV++
+			list[k] = list[len(list)-1]
+			list = list[:len(list)-1]
+			continue // re-examine the swapped-in entry
+		}
+		k++
+	}
+	L.uninfV = list
+}
+
+// pickupLane is pass 2 for lane t: agents on a vertex informed in a
+// previous or this round become informed (see pickupAgents).
+func (v *BatchedVisitExchange) pickupLane(t int) {
+	L := &v.lanes[t]
+	pos := v.walks.Lane(t)
+	if L.countA == len(pos) {
+		return
+	}
+	L.countA = pickupAgents(L.informedA, L.countA, L.informedV, pos)
 }
 
 // meetLane is one trial's meet-exchange state.

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// The batched fused-stamp contract: lanes whose agents are all informed
+// have their pass-1 occupancy stamping folded into the fused walk step
+// (agents.BatchedWalks.StepStamped). Draws are keyed (seed, agent, round)
+// either way, so the full per-trial Result — Rounds, Messages,
+// AllAgentsRound, History — must be bit-identical to the separate-stage
+// path, at any GOMAXPROCS, for any mix of fused and unfused lanes.
+func TestBatchedVisitExchangeFusedStampEquivalence(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Star(96),       // all-informed regime dominates the Ω(n) tail
+		graph.DoubleStar(48), // bridge wait with mixed lane progress
+		graph.Hypercube(6),
+	}
+	opts := []AgentOptions{
+		{},             // simple walks, alpha 1
+		{Lazy: LazyOn}, // exercises the lazy stamped walk loop
+		{Count: 5},     // sparse agents: fused regime hits late per lane
+	}
+	const seed, k = 99, 7
+	for _, procs := range []int{1, 8} {
+		for _, g := range graphs {
+			for oi, o := range opts {
+				run := func(fuse bool) []Result {
+					return atGOMAXPROCS(t, procs, func() []Result {
+						rngs := make([]*xrand.RNG, k)
+						for i := range rngs {
+							rngs[i] = xrand.New(xrand.TrialSeed(seed, i))
+						}
+						bp, err := NewBatchedVisitExchange(g, 0, rngs, o)
+						if err != nil {
+							t.Fatal(err)
+						}
+						bp.fuseMark = fuse
+						out := make([]Result, k)
+						driveBatch(g, bp, DefaultMaxRounds(g), out, nil, 0)
+						return out
+					})
+				}
+				fused, unfused := run(true), run(false)
+				for tr := range fused {
+					if !reflect.DeepEqual(fused[tr], unfused[tr]) {
+						t.Errorf("procs=%d %s opts[%d] trial %d: fused and unfused batched results differ:\nfused   %+v\nunfused %+v",
+							procs, g.Name(), oi, tr, fused[tr], unfused[tr])
+					}
+					if !fused[tr].Completed {
+						t.Errorf("procs=%d %s opts[%d] trial %d: run did not complete", procs, g.Name(), oi, tr)
+					}
+				}
+			}
+		}
+	}
+}

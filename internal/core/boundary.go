@@ -1,0 +1,164 @@
+package core
+
+import (
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+)
+
+// Boundary-active sender sets.
+//
+// Counter-based streams (every draw is keyed (seed, unit, round)) let the
+// call protocols skip draws that provably cannot change state without
+// shifting anybody else's randomness. Push skips informed senders whose
+// entire neighborhood is informed; push-pull and the hybrid's exchange
+// phase skip vertices with no neighbor in the opposite informed state. On
+// the paper's waiting-phase families (the star's coupon-collector tail,
+// the double star's bridge wait) this turns Θ(n) work per stagnant round
+// into Θ(1).
+//
+// The structures here are shared by the serial processes and by each lane
+// of the fused bundles: construction is one O(n + Σ deg(informed)) pass
+// paid on boundary entry, and maintenance is O(deg(v)) per newly informed
+// vertex v. Entry is triggered by the owning protocol after two
+// consecutive stagnant rounds (boundaryStagnantRounds) — a single
+// informing-free round also occurs in ordinary finishing tails, so the
+// build is deferred until stagnation repeats.
+
+// boundaryStagnantRounds is the number of consecutive rounds that inform
+// nobody before a protocol pays the O(M) boundary construction.
+const boundaryStagnantRounds = 2
+
+// pushBoundary tracks the push protocol's boundary senders: informed
+// vertices with at least one uninformed neighbor. Only they need to draw —
+// any other informed vertex's send provably lands on an informed neighbor.
+type pushBoundary struct {
+	active    []graph.Vertex // informed senders with >= 1 uninformed neighbor
+	activeIdx []int32        // position of v in active, -1 if absent
+	remUninf  []int32        // per-vertex count of uninformed neighbors
+}
+
+// build constructs the boundary structures from the current informed set
+// (frontier lists every informed vertex): one O(n + Σ deg(informed)) pass,
+// paid once on boundary entry.
+func (b *pushBoundary) build(g *graph.Graph, frontier []graph.Vertex) {
+	n := g.N()
+	b.active = b.active[:0]
+	b.activeIdx = make([]int32, n)
+	b.remUninf = make([]int32, n)
+	for v := 0; v < n; v++ {
+		b.activeIdx[v] = -1
+		b.remUninf[v] = int32(g.Degree(graph.Vertex(v)))
+	}
+	for _, w := range frontier {
+		for _, x := range g.Neighbors(w) {
+			b.remUninf[x]--
+		}
+	}
+	for _, w := range frontier {
+		if b.remUninf[w] > 0 {
+			b.activeIdx[w] = int32(len(b.active))
+			b.active = append(b.active, w)
+		}
+	}
+}
+
+// onInformed maintains the active set after v became informed: v's
+// neighbors each lose an uninformed neighbor (possibly retiring them), and
+// v itself starts sending if any neighbor is still uninformed.
+func (b *pushBoundary) onInformed(g *graph.Graph, v graph.Vertex) {
+	for _, x := range g.Neighbors(v) {
+		b.remUninf[x]--
+		if b.remUninf[x] == 0 {
+			if i := b.activeIdx[x]; i >= 0 {
+				// Swap-remove x from active.
+				last := b.active[len(b.active)-1]
+				b.active[i] = last
+				b.activeIdx[last] = i
+				b.active = b.active[:len(b.active)-1]
+				b.activeIdx[x] = -1
+			}
+		}
+	}
+	if b.remUninf[v] > 0 {
+		b.activeIdx[v] = int32(len(b.active))
+		b.active = append(b.active, v)
+	}
+}
+
+// exchangeBoundary tracks the exchange boundary of push-pull and the
+// hybrid's exchange phase: vertices with a neighbor in the opposite
+// informed state, i.e. whose exchange can transfer the rumor.
+type exchangeBoundary struct {
+	active    []graph.Vertex // vertices with a neighbor of opposite state
+	activeIdx []int32
+	remUninf  []int32 // per-vertex count of uninformed neighbors
+	infNbrs   []int32 // per-vertex count of informed neighbors
+}
+
+// build constructs the boundary structures from the current informed set:
+// one O(n + Σ deg(informed)) pass, paid once on boundary entry.
+func (b *exchangeBoundary) build(g *graph.Graph, informed *bitset.Set) {
+	n := g.N()
+	b.active = b.active[:0]
+	b.activeIdx = make([]int32, n)
+	b.remUninf = make([]int32, n)
+	b.infNbrs = make([]int32, n)
+	for v := 0; v < n; v++ {
+		b.activeIdx[v] = -1
+		b.remUninf[v] = int32(g.Degree(graph.Vertex(v)))
+	}
+	for v := 0; v < n; v++ {
+		if informed.Test(v) {
+			for _, x := range g.Neighbors(graph.Vertex(v)) {
+				b.remUninf[x]--
+				b.infNbrs[x]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if b.isBoundary(informed, graph.Vertex(v)) {
+			b.activeIdx[v] = int32(len(b.active))
+			b.active = append(b.active, graph.Vertex(v))
+		}
+	}
+}
+
+// isBoundary reports whether v has a neighbor in the opposite informed
+// state.
+func (b *exchangeBoundary) isBoundary(informed *bitset.Set, v graph.Vertex) bool {
+	if informed.Test(int(v)) {
+		return b.remUninf[v] > 0
+	}
+	return b.infNbrs[v] > 0
+}
+
+// onInformed updates the active set after v became informed (informed must
+// already have v set): v's neighbors each trade an uninformed neighbor for
+// an informed one (activating uninformed ones that just gained their first
+// informed neighbor, retiring informed ones that lost their last
+// uninformed one), and v itself joins or leaves.
+func (b *exchangeBoundary) onInformed(g *graph.Graph, informed *bitset.Set, v graph.Vertex) {
+	for _, x := range g.Neighbors(v) {
+		b.remUninf[x]--
+		b.infNbrs[x]++
+		b.setActive(x, b.isBoundary(informed, x))
+	}
+	b.setActive(v, b.isBoundary(informed, v))
+}
+
+func (b *exchangeBoundary) setActive(v graph.Vertex, want bool) {
+	i := b.activeIdx[v]
+	if want == (i >= 0) {
+		return
+	}
+	if want {
+		b.activeIdx[v] = int32(len(b.active))
+		b.active = append(b.active, v)
+		return
+	}
+	last := b.active[len(b.active)-1]
+	b.active[i] = last
+	b.activeIdx[last] = i
+	b.active = b.active[:len(b.active)-1]
+	b.activeIdx[v] = -1
+}

@@ -27,19 +27,21 @@
 // exactly one seed value per independent mechanism from the trial RNG, so
 // RunMany's Derive(seed, trial) streams fully determine each trial.
 //
-// # Batched multi-trial execution
+// # Lane-based multi-trial execution
 //
 // Because every empirical figure is a distribution over many independent
-// trials, the agent protocols additionally run on a batched engine:
-// RunManyBatched fuses up to batchK trials into one bundle whose walk
-// round is a single loop over agents stepping every lane
-// (agents.BatchedWalks), with per-lane informing passes and per-trial
-// done-masking. The trial lane of the stream keying (xrand.TrialSeed)
-// guarantees lane t draws exactly what serial trial t would, so
-// RunManyBatched's []Result is bit-identical to RunMany's for every seed
-// and K — pinned by the batched equivalence tests at GOMAXPROCS 1 and 8.
-// Configurations the fused engine cannot express (churn, observers) stay
-// on RunMany.
+// trials, every protocol also has a fused multi-lane bundle (BatchedPush,
+// BatchedPushPull, BatchedVisitExchange, BatchedMeetExchange,
+// BatchedHybrid): K trials step in lockstep through one blocked loop over
+// units per round, with per-lane state and per-trial done-masking. Serial
+// and fused execution share one engine — a serial Process runs as the
+// K = 1 lane of the same driver (see lane.go) — so RunMany, RunManyBatched,
+// and RunManyLanes differ only in bundle width. The trial lane of the
+// stream keying (xrand.TrialSeed) guarantees lane t draws exactly what
+// serial trial t would, so the []Result is bit-identical for every seed
+// and K — pinned by the lane-equivalence tests at GOMAXPROCS 1 and 8.
+// Configurations the fused bundles cannot express (churn, observers) run
+// serial processes on the K = 1 path.
 package core
 
 import (
@@ -47,10 +49,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"rumor/internal/graph"
-	"rumor/internal/par"
 	"rumor/internal/xrand"
 )
 
@@ -125,40 +125,32 @@ var histPool = sync.Pool{
 }
 
 // Run drives p until Done or maxRounds (DefaultMaxRounds-bounded when
-// maxRounds <= 0) and returns the outcome. The per-round loop performs no
-// allocations: History accumulates in pooled scratch and is copied out
-// exact-size once at the end.
+// maxRounds <= 0) and returns the outcome. It runs p as the single lane of
+// the unified lane driver (see lane.go): the per-round loop performs no
+// allocations — History accumulates in pooled scratch and is copied out
+// exact-size once at the end — and the round/History/finalization
+// semantics are, by construction, those of every K-lane bundle.
 func Run(g *graph.Graph, p Process, maxRounds int) Result {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(g)
 	}
-	res := Result{
-		Protocol:       p.Name(),
-		Graph:          g.Name(),
-		AllAgentsRound: -1,
+	// Processes may arrive pre-stepped (tests drive a few rounds by hand
+	// before handing over): the lane driver counts rounds relative to
+	// entry, while Run's Rounds, AllAgentsRound, and maxRounds bound are
+	// absolute p.Round() values.
+	base := p.Round()
+	budget := maxRounds - base
+	if budget < 0 {
+		budget = 0
 	}
-	hb := histPool.Get().(*[]int)
-	hist := (*hb)[:0]
-	tracker, hasTracker := p.(agentTracker)
-	if hasTracker && tracker.AllAgentsInformed() {
-		res.AllAgentsRound = 0
-	}
-	hist = append(hist, p.InformedCount())
-	for !p.Done() && p.Round() < maxRounds {
-		p.Step()
-		hist = append(hist, p.InformedCount())
-		if res.AllAgentsRound < 0 && hasTracker && tracker.AllAgentsInformed() {
-			res.AllAgentsRound = p.Round()
+	var out [1]Result
+	driveBatch(g, newProcessLane(p), budget, out[:], nil, 0)
+	res := out[0]
+	if base > 0 {
+		res.Rounds += base
+		if res.AllAgentsRound > 0 {
+			res.AllAgentsRound += base
 		}
-	}
-	res.History = append(make([]int, 0, len(hist)), hist...)
-	*hb = hist[:0]
-	histPool.Put(hb)
-	res.Rounds = p.Round()
-	res.Completed = p.Done()
-	res.Messages = p.Messages()
-	if sp, ok := p.(sourced); ok {
-		res.Source = sp.Source()
 	}
 	return res
 }
@@ -223,13 +215,14 @@ func (e *orderedEmitter) complete(t int) {
 	e.mu.Unlock()
 }
 
-// RunMany executes `trials` independent runs on a GOMAXPROCS-sized worker
-// pool, deriving trial seeds from seed, and returns results in trial
-// order. Trial t's stream is xrand.New(xrand.TrialSeed(seed, t))
-// regardless of scheduling, so results are identical at any parallelism;
-// within each trial the protocols additionally shard rounds across
-// internal/par (see the package comment), and the two levels self-balance
-// because shard dispatch never blocks on a busy pool.
+// RunMany executes `trials` independent runs of serial processes on the
+// unified lane engine at K = 1: each trial is its own bundle, claimed in
+// increasing order by a GOMAXPROCS-sized worker pool. Trial t's stream is
+// xrand.New(xrand.TrialSeed(seed, t)) regardless of scheduling, so results
+// are identical at any parallelism; within each trial the protocols
+// additionally shard rounds across internal/par (see the package comment),
+// and the two levels self-balance because shard dispatch never blocks on a
+// busy pool.
 //
 // A factory error aborts the sweep: workers stop claiming trials once any
 // error is recorded (already-claimed trials run to completion), and the
@@ -245,70 +238,7 @@ func RunMany(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64
 // RunManyEmit returns. On a factory error, trials past the failure are
 // never emitted; everything emitted is final.
 func RunManyEmit(g *graph.Graph, factory Factory, trials, maxRounds int, seed uint64, emit EmitFunc) ([]Result, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
-	}
-	// Warm the graph's shared sampling caches once, outside the race, and
-	// let round sharding track any GOMAXPROCS change since the last sweep.
-	g.WalkIndex()
-	g.StationaryAlias()
-	par.Refresh()
-	results := make([]Result, trials)
-	em := newOrderedEmitter(emit, results)
-	errs := make([]error, trials)
-	workers := maxParallel()
-	if workers > trials {
-		workers = trials
-	}
-	if workers == 1 {
-		// Single worker: run trials inline, skipping goroutine dispatch.
-		for t := 0; t < trials; t++ {
-			rng := xrand.New(xrand.TrialSeed(seed, t))
-			p, err := factory(rng)
-			if err != nil {
-				return nil, err
-			}
-			results[t] = Run(g, p, maxRounds)
-			em.complete(t)
-		}
-		return results, nil
-	}
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				t := int(next.Add(1)) - 1
-				if t >= trials {
-					return
-				}
-				rng := xrand.New(xrand.TrialSeed(seed, t))
-				p, err := factory(rng)
-				if err != nil {
-					// Record and stop claiming: trials are claimed in
-					// increasing order, so every index below a failing one
-					// was claimed and the first non-nil entry of errs is
-					// the lowest-numbered failure — exactly what the
-					// single-worker path aborts with.
-					errs[t] = err
-					failed.Store(true)
-					return
-				}
-				results[t] = Run(g, p, maxRounds)
-				em.complete(t)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return RunManyLanes(g, serialLanes(factory), trials, maxRounds, seed, 1, emit)
 }
 
 // maxParallel sizes the trial pool to the machine: one worker per

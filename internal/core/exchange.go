@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/bits"
+
+	"rumor/internal/bitset"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Exchange-phase helpers shared by push-pull and the hybrid, serial and
+// batched. Each is a plain function over concrete state (no per-unit
+// indirection lands in a hot loop), so the four engines that perform an
+// exchange round share one copy of the collect, commit, and active-draw
+// semantics — a fix to any of them lands everywhere at once. The batched
+// agent-pickup pass shared by the visit-exchange and hybrid bundles lives
+// here too.
+
+// collectExchangeDense appends to pending the transfers of a dense
+// exchange round: for each vertex u with a drawn partner targets[u] >= 0,
+// if exactly one endpoint is informed, the other becomes pending.
+// Evaluated against the pre-commit informed set; targets must hold one
+// slot per vertex.
+func collectExchangeDense(informed *bitset.Set, targets []graph.Vertex, pending []graph.Vertex) []graph.Vertex {
+	for u, v := range targets {
+		if v < 0 {
+			continue
+		}
+		iu, iv := informed.Test(u), informed.Test(int(v))
+		switch {
+		case iu && !iv:
+			pending = append(pending, v)
+		case !iu && iv:
+			pending = append(pending, graph.Vertex(u))
+		}
+	}
+	return pending
+}
+
+// collectExchangeActive is collectExchangeDense for boundary mode, where
+// slot k's sender is srcs[k] (the active list mutates during the commit,
+// so the draw phase recorded it).
+func collectExchangeActive(informed *bitset.Set, srcs, targets []graph.Vertex, pending []graph.Vertex) []graph.Vertex {
+	for k, v := range targets {
+		if v < 0 {
+			continue
+		}
+		u := srcs[k]
+		iu, iv := informed.Test(int(u)), informed.Test(int(v))
+		switch {
+		case iu && !iv:
+			pending = append(pending, v)
+		case !iu && iv:
+			pending = append(pending, u)
+		}
+	}
+	return pending
+}
+
+// commitExchange commits pending newly informed vertices (duplicates
+// commit once), maintaining bnd when boundary is set, and returns the
+// updated informed count.
+func commitExchange(g *graph.Graph, informed *bitset.Set, bnd *exchangeBoundary, boundary bool, pending []graph.Vertex, count int) int {
+	for _, v := range pending {
+		if !informed.Test(int(v)) {
+			informed.Set(int(v))
+			count++
+			if boundary {
+				bnd.onInformed(g, informed, v)
+			}
+		}
+	}
+	return count
+}
+
+// drawExchangeActive draws the exchange choice (and failure coin, when
+// failTh is nonzero) for each active-list sender in active, recording the
+// sender in srcs alongside the target. active, srcs, and targets must be
+// equal-length slices; sharded callers pass aligned subranges.
+func drawExchangeActive(sampler neighborSampler, seed uint64, active, srcs, targets []graph.Vertex, round, failTh uint64) {
+	for k, u := range active {
+		s := xrand.NewStream(seed, uint64(u), round)
+		v := sampler.sample(u, &s)
+		if failTh != 0 && s.Uint64() < failTh {
+			v = -1
+		}
+		srcs[k] = u
+		targets[k] = v
+	}
+}
+
+// pickupAgents informs every uninformed agent standing on an informed
+// vertex, committing inline in agent-id order (the predicate reads only
+// informedV and pos, so inline commits equal a collect-then-commit), and
+// returns the updated informed-agent count.
+func pickupAgents(informedA *bitset.Set, countA int, informedV *bitset.Set, pos []graph.Vertex) int {
+	na := len(pos)
+	aw := informedA.Words()
+	for wi := range aw {
+		inv := ^aw[wi]
+		if rem := na - wi<<6; rem < 64 {
+			inv &= 1<<uint(rem) - 1 // mask ghost bits past the last agent
+		}
+		for ; inv != 0; inv &= inv - 1 {
+			i := wi<<6 + bits.TrailingZeros64(inv)
+			if informedV.Test(int(pos[i])) {
+				informedA.Set(i)
+				countA++
+			}
+		}
+	}
+	return countA
+}

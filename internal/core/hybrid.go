@@ -27,6 +27,15 @@ import (
 // round) streams, and all commits happen in serial merges ordered by
 // vertex/agent id — bit-identical results for a given seed at any
 // GOMAXPROCS.
+//
+// The exchange phase carries the same boundary-active sender optimization
+// as push-pull: after two consecutive rounds in which neither mechanism
+// informed a vertex, only vertices with a neighbor in the opposite
+// informed state draw exchange choices (see boundary.go). Because
+// boundary membership is maintained against the shared informed set, a
+// vertex informed by an agent deposit retires exchange senders exactly as
+// an exchange-informed one does; results are bit-identical to the dense
+// path (pinned by TestHybridBoundaryEquivalence).
 type Hybrid struct {
 	g     *graph.Graph
 	src   graph.Vertex
@@ -43,6 +52,16 @@ type Hybrid struct {
 	countA    int
 	pendingV  []graph.Vertex
 	targets   []graph.Vertex
+	srcs      []graph.Vertex // per-slot sender (boundary mode)
+
+	// Exchange-phase boundary bookkeeping (see boundary.go), built lazily
+	// after repeated rounds that inform no vertex through either mechanism.
+	// useBoundary is on by default; the equivalence test clears it to pin
+	// the boundary path against the dense path.
+	useBoundary bool
+	boundary    bool
+	stagnant    int
+	bnd         exchangeBoundary
 
 	shardV     shardBufs[graph.Vertex]
 	shardA     shardBufs[int32]
@@ -50,6 +69,7 @@ type Hybrid struct {
 	bufsA      [][]int32
 	procs      int
 	exchangeFn func(shard, lo, hi int)
+	activeFn   func(shard, lo, hi int)
 	depositFn  func(shard, lo, hi int)
 	pickupFn   func(shard, lo, hi int)
 	round      int
@@ -80,7 +100,9 @@ func NewHybrid(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts AgentOptions
 		countV:    1,
 	}
 	h.procs = par.Procs()
+	h.useBoundary = true
 	h.exchangeFn = h.exchangeShard
+	h.activeFn = h.exchangeActiveShard
 	h.depositFn = h.depositShard
 	h.pickupFn = h.pickupShard
 	h.informedV.Set(int(s))
@@ -122,29 +144,35 @@ func (h *Hybrid) Step() {
 
 	// Phase 1: push-pull exchanges against the pre-round informed set,
 	// drawn in parallel from per-vertex streams, merged in vertex order.
+	// In boundary mode only vertices with a neighbor in the opposite
+	// informed state draw — any other vertex's exchange provably transfers
+	// nothing, and skipping its draw shifts nobody else's randomness (see
+	// boundary.go).
 	h.pendingV = h.pendingV[:0]
 	n := h.g.N()
 	h.messages += h.callers
 	if h.targets == nil {
 		h.targets = make([]graph.Vertex, n)
 	}
-	if shardsFor(n, senderGrain, h.procs) == 1 {
-		h.exchangeShard(0, 0, n)
+	if h.boundary {
+		m := len(h.bnd.active)
+		if m > 0 {
+			if shardsFor(m, senderGrain, h.procs) == 1 {
+				h.exchangeActiveShard(0, 0, m)
+			} else {
+				par.Do(m, senderGrain, h.activeFn)
+			}
+			// Collect against the pre-round informed state (the active
+			// list itself mutates only in the commit below, hence srcs).
+			h.pendingV = collectExchangeActive(h.informedV, h.srcs[:m], h.targets[:m], h.pendingV)
+		}
 	} else {
-		par.Do(n, senderGrain, h.exchangeFn)
-	}
-	for u := 0; u < n; u++ {
-		v := h.targets[u]
-		if v < 0 {
-			continue
+		if shardsFor(n, senderGrain, h.procs) == 1 {
+			h.exchangeShard(0, 0, n)
+		} else {
+			par.Do(n, senderGrain, h.exchangeFn)
 		}
-		iu, iv := h.informedV.Test(u), h.informedV.Test(int(v))
-		switch {
-		case iu && !iv:
-			h.pendingV = append(h.pendingV, v)
-		case !iu && iv:
-			h.pendingV = append(h.pendingV, graph.Vertex(u))
-		}
+		h.pendingV = collectExchangeDense(h.informedV, h.targets[:n], h.pendingV)
 	}
 
 	// Phase 2: agent moves with visit-exchange semantics. Agents informed
@@ -178,10 +206,22 @@ func (h *Hybrid) Step() {
 	}
 
 	// Commit newly informed vertices from both mechanisms.
-	for _, v := range h.pendingV {
-		if !h.informedV.Test(int(v)) {
-			h.informedV.Set(int(v))
-			h.countV++
+	countBefore := h.countV
+	h.countV = commitExchange(h.g, h.informedV, &h.bnd, h.boundary, h.pendingV, h.countV)
+	if h.useBoundary && !h.boundary {
+		if h.countV != countBefore {
+			h.stagnant = 0
+		} else if !h.Done() {
+			// A round in which neither the exchange nor the agents informed
+			// a vertex signals a waiting phase; require two in a row before
+			// paying the O(M) boundary build (see boundary.go).
+			if h.stagnant++; h.stagnant >= boundaryStagnantRounds {
+				h.bnd.build(h.g, h.informedV)
+				if h.srcs == nil {
+					h.srcs = make([]graph.Vertex, n)
+				}
+				h.boundary = true
+			}
 		}
 	}
 
@@ -229,6 +269,13 @@ func (h *Hybrid) exchangeShard(_, lo, hi int) {
 		}
 		base += xrand.UnitStride
 	}
+}
+
+// exchangeActiveShard draws the round's push-pull neighbor choice for
+// active-list slots [lo, hi), recording the sender alongside because the
+// active list mutates during the commit phase.
+func (h *Hybrid) exchangeActiveShard(_, lo, hi int) {
+	drawExchangeActive(h.sampler, h.seed, h.bnd.active[lo:hi], h.srcs[lo:hi], h.targets[lo:hi], uint64(h.round), 0)
 }
 
 // depositShard collects the positions of previously informed agents in

@@ -51,13 +51,11 @@ type Push struct {
 	informed *bitset.Set
 	frontier []graph.Vertex // all informed vertices, in discovery order
 
-	// Boundary bookkeeping, built lazily after repeated stagnant rounds
-	// (never in observer mode).
-	boundary  bool
-	stagnant  int
-	active    []graph.Vertex // informed senders with >= 1 uninformed neighbor
-	activeIdx []int32        // position of v in active, -1 if absent
-	remUninf  []int32        // per-vertex count of uninformed neighbors
+	// Boundary bookkeeping (see boundary.go), built lazily after repeated
+	// stagnant rounds (never in observer mode).
+	boundary bool
+	stagnant int
+	bnd      pushBoundary
 
 	procs    int
 	senders  []graph.Vertex // the slice drawShard iterates (frontier or active)
@@ -96,56 +94,13 @@ func NewPush(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushOptions) (
 	return p, nil
 }
 
-// enterBoundary builds the boundary-sender structures from the current
-// informed set: one O(n + Σ deg(informed)) pass, paid once.
-func (p *Push) enterBoundary() {
-	n := p.g.N()
-	p.activeIdx = make([]int32, n)
-	p.remUninf = make([]int32, n)
-	for v := 0; v < n; v++ {
-		p.activeIdx[v] = -1
-		p.remUninf[v] = int32(p.g.Degree(graph.Vertex(v)))
-	}
-	for _, w := range p.frontier {
-		for _, x := range p.g.Neighbors(w) {
-			p.remUninf[x]--
-		}
-	}
-	for _, w := range p.frontier {
-		if p.remUninf[w] > 0 {
-			p.activeIdx[w] = int32(len(p.active))
-			p.active = append(p.active, w)
-		}
-	}
-	p.boundary = true
-}
-
 // informVertex commits v as informed. In boundary mode it also maintains
-// the active set: v's neighbors each lose an uninformed neighbor (possibly
-// retiring them), and v itself starts sending if any neighbor is still
-// uninformed.
+// the boundary-sender set (see pushBoundary.onInformed).
 func (p *Push) informVertex(v graph.Vertex) {
 	p.informed.Set(int(v))
 	p.frontier = append(p.frontier, v)
-	if !p.boundary {
-		return
-	}
-	for _, x := range p.g.Neighbors(v) {
-		p.remUninf[x]--
-		if p.remUninf[x] == 0 {
-			if i := p.activeIdx[x]; i >= 0 {
-				// Swap-remove x from active.
-				last := p.active[len(p.active)-1]
-				p.active[i] = last
-				p.activeIdx[last] = i
-				p.active = p.active[:len(p.active)-1]
-				p.activeIdx[x] = -1
-			}
-		}
-	}
-	if p.remUninf[v] > 0 {
-		p.activeIdx[v] = int32(len(p.active))
-		p.active = append(p.active, v)
+	if p.boundary {
+		p.bnd.onInformed(p.g, v)
 	}
 }
 
@@ -179,7 +134,7 @@ func (p *Push) Step() {
 		return
 	}
 	if p.boundary {
-		p.senders = p.active
+		p.senders = p.bnd.active
 	} else {
 		p.senders = p.frontier
 	}
@@ -211,8 +166,9 @@ func (p *Push) Step() {
 			// waiting phase. A single one also occurs in ordinary coupon
 			// tails, so require two in a row before paying the O(M)
 			// boundary construction.
-			if p.stagnant++; p.stagnant >= 2 {
-				p.enterBoundary()
+			if p.stagnant++; p.stagnant >= boundaryStagnantRounds {
+				p.bnd.build(p.g, p.frontier)
+				p.boundary = true
 			}
 		}
 	}

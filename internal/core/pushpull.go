@@ -44,14 +44,11 @@ type PushPull struct {
 	informed *bitset.Set
 	callers  int64 // non-isolated vertices: one message each per round
 
-	// Boundary bookkeeping, built lazily after repeated stagnant rounds
-	// (never in observer mode).
-	boundary  bool
-	stagnant  int
-	active    []graph.Vertex // vertices with a neighbor of opposite state
-	activeIdx []int32
-	remUninf  []int32 // per-vertex count of uninformed neighbors
-	infNbrs   []int32 // per-vertex count of informed neighbors
+	// Boundary bookkeeping (see boundary.go), built lazily after repeated
+	// stagnant rounds (never in observer mode).
+	boundary bool
+	stagnant int
+	bnd      exchangeBoundary
 
 	procs    int
 	targets  []graph.Vertex // per-slot draw results; -1 marks a failure
@@ -94,74 +91,14 @@ func NewPushPull(g *graph.Graph, s graph.Vertex, rng *xrand.RNG, opts PushPullOp
 }
 
 // enterBoundary builds the boundary structures from the current informed
-// set: one O(n + Σ deg(informed)) pass, paid once.
+// set (see exchangeBoundary.build): one O(n + Σ deg(informed)) pass, paid
+// once.
 func (p *PushPull) enterBoundary() {
-	n := p.g.N()
-	p.activeIdx = make([]int32, n)
-	p.remUninf = make([]int32, n)
-	p.infNbrs = make([]int32, n)
-	for v := 0; v < n; v++ {
-		p.activeIdx[v] = -1
-		p.remUninf[v] = int32(p.g.Degree(graph.Vertex(v)))
-	}
-	for v := 0; v < n; v++ {
-		if p.informed.Test(v) {
-			for _, x := range p.g.Neighbors(graph.Vertex(v)) {
-				p.remUninf[x]--
-				p.infNbrs[x]++
-			}
-		}
-	}
-	for v := 0; v < n; v++ {
-		if p.isBoundary(graph.Vertex(v)) {
-			p.activeIdx[v] = int32(len(p.active))
-			p.active = append(p.active, graph.Vertex(v))
-		}
-	}
+	p.bnd.build(p.g, p.informed)
 	if p.srcs == nil {
-		p.srcs = make([]graph.Vertex, n)
+		p.srcs = make([]graph.Vertex, p.g.N())
 	}
 	p.boundary = true
-}
-
-// isBoundary reports whether v has a neighbor in the opposite informed
-// state, i.e. whether v's exchange can transfer the rumor.
-func (p *PushPull) isBoundary(v graph.Vertex) bool {
-	if p.informed.Test(int(v)) {
-		return p.remUninf[v] > 0
-	}
-	return p.infNbrs[v] > 0
-}
-
-// maintainBoundary updates the active set after v became informed: v's
-// neighbors each trade an uninformed neighbor for an informed one
-// (activating uninformed ones that just gained their first informed
-// neighbor, retiring informed ones that lost their last uninformed one),
-// and v itself joins or leaves.
-func (p *PushPull) maintainBoundary(v graph.Vertex) {
-	for _, x := range p.g.Neighbors(v) {
-		p.remUninf[x]--
-		p.infNbrs[x]++
-		p.setActive(x, p.isBoundary(x))
-	}
-	p.setActive(v, p.isBoundary(v))
-}
-
-func (p *PushPull) setActive(v graph.Vertex, want bool) {
-	i := p.activeIdx[v]
-	if want == (i >= 0) {
-		return
-	}
-	if want {
-		p.activeIdx[v] = int32(len(p.active))
-		p.active = append(p.active, v)
-		return
-	}
-	last := p.active[len(p.active)-1]
-	p.active[i] = last
-	p.activeIdx[last] = i
-	p.active = p.active[:len(p.active)-1]
-	p.activeIdx[v] = -1
 }
 
 // Name implements Process.
@@ -194,7 +131,7 @@ func (p *PushPull) Step() {
 	case p.opts.Observer != nil:
 		p.stepSerial(n)
 	case p.boundary:
-		m := len(p.active)
+		m := len(p.bnd.active)
 		if m == 0 {
 			return
 		}
@@ -205,20 +142,7 @@ func (p *PushPull) Step() {
 		}
 		// Collect against the pre-round informed state (the active list
 		// itself mutates only in the commit below, hence srcs).
-		for k := 0; k < m; k++ {
-			v := p.targets[k]
-			if v < 0 {
-				continue
-			}
-			u := p.srcs[k]
-			iu, iv := p.informed.Test(int(u)), p.informed.Test(int(v))
-			switch {
-			case iu && !iv:
-				p.pending = append(p.pending, v)
-			case !iu && iv:
-				p.pending = append(p.pending, u)
-			}
-		}
+		p.pending = collectExchangeActive(p.informed, p.srcs[:m], p.targets[:m], p.pending)
 	default:
 		if p.targets == nil {
 			p.targets = make([]graph.Vertex, n)
@@ -228,31 +152,11 @@ func (p *PushPull) Step() {
 		} else {
 			par.Do(n, senderGrain, p.denseFn)
 		}
-		for u := 0; u < n; u++ {
-			v := p.targets[u]
-			if v < 0 {
-				continue
-			}
-			iu, iv := p.informed.Test(u), p.informed.Test(int(v))
-			switch {
-			case iu && !iv:
-				p.pending = append(p.pending, v)
-			case !iu && iv:
-				p.pending = append(p.pending, graph.Vertex(u))
-			}
-		}
+		p.pending = collectExchangeDense(p.informed, p.targets[:n], p.pending)
 	}
 	// Commit.
 	countBefore := p.count
-	for _, v := range p.pending {
-		if !p.informed.Test(int(v)) {
-			p.informed.Set(int(v))
-			p.count++
-			if p.boundary {
-				p.maintainBoundary(v)
-			}
-		}
-	}
+	p.count = commitExchange(p.g, p.informed, &p.bnd, p.boundary, p.pending, p.count)
 	if !p.boundary && p.opts.Observer == nil {
 		if p.count != countBefore {
 			p.stagnant = 0
@@ -260,7 +164,7 @@ func (p *PushPull) Step() {
 			// Consecutive stagnant rounds signal a waiting phase (e.g.
 			// the double-star bridge); require two in a row before paying
 			// the O(M) boundary build so ordinary finishing tails skip it.
-			if p.stagnant++; p.stagnant >= 2 {
+			if p.stagnant++; p.stagnant >= boundaryStagnantRounds {
 				p.enterBoundary()
 			}
 		}
@@ -305,17 +209,7 @@ func (p *PushPull) drawDenseShard(_, lo, hi int) {
 // sender alongside because the active list mutates during the commit
 // phase.
 func (p *PushPull) drawActiveShard(_, lo, hi int) {
-	round := uint64(p.round)
-	for k := lo; k < hi; k++ {
-		u := p.active[k]
-		s := xrand.NewStream(p.seed, uint64(u), round)
-		v := p.sampler.sample(u, &s)
-		if p.failTh != 0 && s.Uint64() < p.failTh {
-			v = -1
-		}
-		p.srcs[k] = u
-		p.targets[k] = v
-	}
+	drawExchangeActive(p.sampler, p.seed, p.bnd.active[lo:hi], p.srcs[lo:hi], p.targets[lo:hi], uint64(p.round), p.failTh)
 }
 
 // stepSerial draws every vertex's stream one at a time so the observer

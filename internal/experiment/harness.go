@@ -99,10 +99,13 @@ type Measurement struct {
 // experiment in this repository is expected to complete within the default
 // round budget.
 //
-// Agent protocols (visit-exchange, meet-exchange) without churn or
-// observers run on the fused batched engine (core.RunManyBatched), which
-// returns bit-identical results to the serial path at a fraction of the
-// cost; everything else runs per-trial on core.RunMany.
+// Every protocol runs on the unified lane engine (core.RunManyLanes):
+// fused multi-lane bundles at the adaptive bundle width for standard
+// configurations, serial processes as K = 1 lanes when the configuration
+// needs them (observers; churn for the agent protocols). Bundle width
+// never changes results — the engines are bit-identical per trial (see
+// core's lane-equivalence tests) — so batching is purely a throughput
+// decision.
 func Measure(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials int, seed uint64) (Measurement, error) {
 	results, err := runTrials(p, g, src, agentOpts, trials, 0, seed, nil)
 	if err != nil {
@@ -119,27 +122,59 @@ func Measure(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOpti
 	return Measurement{Proto: p, N: g.N(), Summary: stats.Summarize(rounds)}, nil
 }
 
-// runTrials dispatches a protocol sweep to the batched or serial trial
-// engine. The two produce bit-identical results (see core's batched
-// equivalence tests); batching is purely a throughput decision. emit, when
-// non-nil, receives each trial's Result in strict trial order as trials
-// complete.
+// runTrials dispatches a protocol sweep to the unified lane engine: every
+// protocol has a fused multi-lane bundle, run at the adaptive bundle width
+// (core.AdaptiveBatchK picks K from trials, graph size, and GOMAXPROCS);
+// configurations the bundles cannot express fall back to serial processes
+// on the K = 1 lane path. Bundle width produces bit-identical results (see
+// core's lane-equivalence tests); batching is purely a throughput
+// decision. emit, when non-nil, receives each trial's Result in strict
+// trial order as trials complete.
 func runTrials(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions, trials, maxRounds int, seed uint64, emit core.EmitFunc) ([]core.Result, error) {
-	if agentOpts.ChurnRate == 0 && agentOpts.Observer == nil {
-		switch p {
-		case ProtoVisitX:
-			return core.RunManyBatchedEmit(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
-				return core.NewBatchedVisitExchange(g, src, rngs, agentOpts)
-			}, trials, maxRounds, seed, emit)
-		case ProtoMeetX:
-			return core.RunManyBatchedEmit(g, func(rngs []*xrand.RNG) (core.BatchedProcess, error) {
-				return core.NewBatchedMeetExchange(g, src, rngs, agentOpts)
-			}, trials, maxRounds, seed, emit)
-		}
+	if factory := laneFactory(p, g, src, agentOpts); factory != nil {
+		return core.RunManyLanes(g, factory, trials, maxRounds, seed, core.AdaptiveBatchK(g, trials), emit)
 	}
 	return core.RunManyEmit(g, func(rng *xrand.RNG) (core.Process, error) {
 		return BuildProcess(p, g, src, rng, agentOpts)
 	}, trials, maxRounds, seed, emit)
+}
+
+// laneFactory returns the fused-bundle constructor for p, or nil when the
+// configuration requires the serial path (observers force serial
+// everywhere; churn is only meaningful — and only serial — for the agent
+// protocols).
+func laneFactory(p Proto, g *graph.Graph, src graph.Vertex, agentOpts core.AgentOptions) core.LaneFactory {
+	if agentOpts.Observer != nil {
+		return nil
+	}
+	switch p {
+	case ProtoPush:
+		return func(rngs []*xrand.RNG) (core.LaneProcess, error) {
+			return core.NewBatchedPush(g, src, rngs, core.PushOptions{})
+		}
+	case ProtoPPull:
+		return func(rngs []*xrand.RNG) (core.LaneProcess, error) {
+			return core.NewBatchedPushPull(g, src, rngs, core.PushPullOptions{})
+		}
+	}
+	if agentOpts.ChurnRate != 0 {
+		return nil
+	}
+	switch p {
+	case ProtoVisitX:
+		return func(rngs []*xrand.RNG) (core.LaneProcess, error) {
+			return core.NewBatchedVisitExchange(g, src, rngs, agentOpts)
+		}
+	case ProtoMeetX:
+		return func(rngs []*xrand.RNG) (core.LaneProcess, error) {
+			return core.NewBatchedMeetExchange(g, src, rngs, agentOpts)
+		}
+	case ProtoHybrid:
+		return func(rngs []*xrand.RNG) (core.LaneProcess, error) {
+			return core.NewBatchedHybrid(g, src, rngs, agentOpts)
+		}
+	}
+	return nil
 }
 
 // fmtMean renders "mean ± ci95".

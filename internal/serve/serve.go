@@ -23,12 +23,16 @@
 //
 // Accepted jobs enter a bounded queue consumed by a fixed worker pool
 // sized to the machine (each simulation itself parallelizes across
-// internal/par, so a small number of workers saturates the cores). Trial
-// results are emitted in strict trial order as the engines complete them
-// (core's EmitFunc contract) and appended to the job as pre-marshaled
-// NDJSON frames; GET /v1/jobs/{id}/stream replays the frames and follows
-// live. Shutdown stops intake (503) and drains queued and running jobs
-// without dropping results.
+// internal/par, so a small number of workers saturates the cores). Every
+// simulation — run and sweep points alike, all five protocols — executes
+// on core's unified lane engine: fused multi-lane bundles at the adaptive
+// bundle width, which is a pure throughput knob (results are bit-identical
+// at any width, so the response bytes this layer caches and replays never
+// depend on it). Trial results are emitted in strict trial order as the
+// engines complete them (core's EmitFunc contract) and appended to the job
+// as pre-marshaled NDJSON frames; GET /v1/jobs/{id}/stream replays the
+// frames and follows live. Shutdown stops intake (503) and drains queued
+// and running jobs without dropping results.
 package serve
 
 import (
