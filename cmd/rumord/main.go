@@ -46,12 +46,23 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 		workers = fs.Int("workers", 0, "concurrent simulations (0 = half the processors)")
 		queue   = fs.Int("queue", 0, "max queued jobs (0 = default 256)")
 		cache   = fs.Int("cache", 0, "completed-result LRU entries (0 = default 512)")
+		shards  = fs.Int("shards", 0, "job-table/cache shards (0 = default 16)")
+		dataDir = fs.String("data-dir", "", "spill evicted results to content-addressed files here; replayed byte-identically across restarts (empty = memory only)")
 		drain   = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s := serve.New(serve.Options{Workers: *workers, QueueSize: *queue, CacheSize: *cache})
+	s, err := serve.New(serve.Options{
+		Workers: *workers, QueueSize: *queue, CacheSize: *cache,
+		Shards: *shards, DataDir: *dataDir,
+	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		log.Printf("rumord: data dir %s: %d spilled results resident", *dataDir, s.SpillLen())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -66,3 +66,71 @@ func TestBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestDataDirReplayAcrossRestart: with -data-dir, a result evicted from
+// the memory LRU survives a full daemon restart and replays from disk
+// byte-identically.
+func TestDataDirReplayAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "1", "-cache", "1", "-shards", "1", "-data-dir", dir}
+	boot := func() (string, chan struct{}, chan error) {
+		addrCh := make(chan net.Addr, 1)
+		stop := make(chan struct{})
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- run(args, func(a net.Addr) { addrCh <- a }, stop)
+		}()
+		select {
+		case a := <-addrCh:
+			return "http://" + a.String(), stop, errCh
+		case err := <-errCh:
+			t.Fatalf("server exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not start")
+		}
+		panic("unreachable")
+	}
+	post := func(base, spec string) (string, []byte) {
+		resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		return resp.Header.Get("X-Rumord-Source"), b
+	}
+	drain := func(stop chan struct{}, errCh chan error) {
+		close(stop)
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("drain timed out")
+		}
+	}
+
+	spec := `{"graph":"star:48","protocol":"meetx","trials":3,"seed":6}`
+	base, stop, errCh := boot()
+	_, fresh := post(base, spec)
+	// Evict the entry (cache capacity 1, one shard) so it spills.
+	post(base, `{"graph":"cycle:16","protocol":"push","trials":1,"seed":1}`)
+	drain(stop, errCh)
+
+	base, stop, errCh = boot()
+	src, replayed := post(base, spec)
+	if src != "disk" {
+		t.Fatalf("after restart: source %q, want disk", src)
+	}
+	if string(replayed) != string(fresh) {
+		t.Fatal("disk replay differs from the original response")
+	}
+	drain(stop, errCh)
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"rumor/internal/core"
@@ -141,6 +142,20 @@ func (s RunSpec) Normalize() (RunSpec, error) {
 		s.Alpha, s.Agents, s.Churn, s.Lazy = 0, 0, 0, ""
 	}
 	return s, nil
+}
+
+// CanonicalJSON returns the canonical JSON encoding of the spec — the
+// byte string request-identity schemes hash. It is deterministic (struct
+// field order fixes the encoding) and canonical once the spec has been
+// Normalized; callers hashing un-normalized specs get a valid but
+// non-canonical identity. Marshaling a RunSpec cannot fail.
+func (s RunSpec) CanonicalJSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A RunSpec has no unmarshalable fields; this cannot happen.
+		panic(fmt.Sprintf("experiment: marshal spec: %v", err))
+	}
+	return b
 }
 
 // lazyMode converts the textual laziness policy.

@@ -1,0 +1,93 @@
+package experiment
+
+import "strconv"
+
+// Sweep is the data form of a graphs × protocols × seeds cross-product
+// sharing every other knob — the paper's sweep shape (a Fig. 1 family
+// across protocols and seeds) and the serving layer's /v1/sweep wire
+// format. Empty Protocols or Seeds axes inherit the Defaults' value, so
+// the cross-product is never empty on those axes.
+type Sweep struct {
+	Defaults  RunSpec  `json:"defaults"`
+	Graphs    []string `json:"graphs"`
+	Protocols []Proto  `json:"protocols,omitempty"`
+	Seeds     []uint64 `json:"seeds,omitempty"`
+}
+
+// SweepPoint is one expanded point of a sweep: the axis values that
+// selected it plus its normalized spec. Spec is what a planner hashes —
+// two points whose axis values normalize identically carry equal Specs.
+type SweepPoint struct {
+	Graph    string
+	Protocol Proto
+	Seed     uint64
+	Spec     RunSpec
+}
+
+// protocols returns the protocol axis with the default materialized.
+func (sw Sweep) protocols() []Proto {
+	if len(sw.Protocols) > 0 {
+		return sw.Protocols
+	}
+	return []Proto{sw.Defaults.Protocol}
+}
+
+// seeds returns the seed axis with the default materialized.
+func (sw Sweep) seeds() []uint64 {
+	if len(sw.Seeds) > 0 {
+		return sw.Seeds
+	}
+	return []uint64{sw.Defaults.Seed}
+}
+
+// Dims returns the per-axis sizes after default materialization; the
+// cross-product has graphs·protocols·seeds points. Use it to bound a
+// sweep before paying Expand's per-point normalization.
+func (sw Sweep) Dims() (graphs, protocols, seeds int) {
+	return len(sw.Graphs), len(sw.protocols()), len(sw.seeds())
+}
+
+// Expand materializes the cross-product in its canonical order — graphs
+// outermost, then protocols, then seeds — with every point normalized.
+// The order is part of the sweep's identity: planners assemble responses
+// and stream frames in it, so a sweep's output is deterministic however
+// its points are scheduled. Normalization is pure; an invalid point
+// rejects the whole sweep with zero side effects.
+func (sw Sweep) Expand() ([]SweepPoint, error) {
+	protos, seeds := sw.protocols(), sw.seeds()
+	points := make([]SweepPoint, 0, len(sw.Graphs)*len(protos)*len(seeds))
+	for _, gs := range sw.Graphs {
+		for _, p := range protos {
+			for _, seed := range seeds {
+				spec := sw.Defaults
+				spec.Graph = gs
+				spec.Protocol = p
+				spec.Seed = seed
+				// A pinned defaults.graphSeed applies to every point (one
+				// random graph swept across protocol seeds); when unset,
+				// Normalize derives it from each point's Seed.
+				spec, err := spec.Normalize()
+				if err != nil {
+					return nil, &SweepPointError{Graph: gs, Protocol: p, Seed: seed, Err: err}
+				}
+				points = append(points, SweepPoint{Graph: gs, Protocol: p, Seed: seed, Spec: spec})
+			}
+		}
+	}
+	return points, nil
+}
+
+// SweepPointError reports the axis values of the point that failed to
+// normalize.
+type SweepPointError struct {
+	Graph    string
+	Protocol Proto
+	Seed     uint64
+	Err      error
+}
+
+func (e *SweepPointError) Error() string {
+	return "point " + e.Graph + "/" + string(e.Protocol) + "/" + strconv.FormatUint(e.Seed, 10) + ": " + e.Err.Error()
+}
+
+func (e *SweepPointError) Unwrap() error { return e.Err }

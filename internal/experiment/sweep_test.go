@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestSweepExpandOrderAndNormalization: Expand yields the cross-product
+// in canonical order (graphs, then protocols, then seeds) with each
+// point's spec normalized.
+func TestSweepExpandOrderAndNormalization(t *testing.T) {
+	sw := Sweep{
+		Defaults:  DefaultRunSpec(),
+		Graphs:    []string{" STAR : 8 ", "cycle:6"},
+		Protocols: []Proto{ProtoPush, ProtoVisitX},
+		Seeds:     []uint64{3, 4},
+	}
+	g, p, s := sw.Dims()
+	if g != 2 || p != 2 || s != 2 {
+		t.Fatalf("Dims = %d,%d,%d, want 2,2,2", g, p, s)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("expanded %d points, want 8", len(points))
+	}
+	// Canonical order: graphs outermost, seeds innermost.
+	want := []struct {
+		graph string
+		proto Proto
+		seed  uint64
+	}{
+		{"star:8", ProtoPush, 3}, {"star:8", ProtoPush, 4},
+		{"star:8", ProtoVisitX, 3}, {"star:8", ProtoVisitX, 4},
+		{"cycle:6", ProtoPush, 3}, {"cycle:6", ProtoPush, 4},
+		{"cycle:6", ProtoVisitX, 3}, {"cycle:6", ProtoVisitX, 4},
+	}
+	for i, pt := range points {
+		if pt.Spec.Graph != want[i].graph || pt.Spec.Protocol != want[i].proto || pt.Spec.Seed != want[i].seed {
+			t.Fatalf("point %d = %s/%s/%d, want %s/%s/%d",
+				i, pt.Spec.Graph, pt.Spec.Protocol, pt.Spec.Seed,
+				want[i].graph, want[i].proto, want[i].seed)
+		}
+	}
+	// Vertex-only points must have agent knobs zeroed by normalization.
+	if points[0].Spec.Alpha != 0 || points[0].Spec.Lazy != "" {
+		t.Fatalf("push point not normalized: %+v", points[0].Spec)
+	}
+}
+
+// TestSweepExpandDefaultsAxes: empty protocol/seed axes inherit the
+// defaults, so the cross-product never collapses to zero on them.
+func TestSweepExpandDefaultsAxes(t *testing.T) {
+	d := DefaultRunSpec()
+	d.Protocol = ProtoMeetX
+	d.Seed = 77
+	sw := Sweep{Defaults: d, Graphs: []string{"star:4"}}
+	if g, p, s := sw.Dims(); g != 1 || p != 1 || s != 1 {
+		t.Fatalf("Dims = %d,%d,%d, want 1,1,1", g, p, s)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Spec.Protocol != ProtoMeetX || points[0].Spec.Seed != 77 {
+		t.Fatalf("defaulted point = %+v", points)
+	}
+}
+
+// TestSweepExpandBadPoint: an invalid point rejects the sweep with a
+// typed error naming the offending axis values.
+func TestSweepExpandBadPoint(t *testing.T) {
+	sw := Sweep{
+		Defaults: DefaultRunSpec(),
+		Graphs:   []string{"star:8", "nope:1"},
+		Seeds:    []uint64{9},
+	}
+	_, err := sw.Expand()
+	var pe *SweepPointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Expand error = %v, want *SweepPointError", err)
+	}
+	if pe.Graph != "nope:1" || pe.Seed != 9 {
+		t.Fatalf("offending point = %q/%d, want nope:1/9", pe.Graph, pe.Seed)
+	}
+}
+
+// TestCanonicalJSONStable: equal normalized specs encode to identical
+// bytes, different specs to different bytes — the identity the serving
+// layer's store keys on.
+func TestCanonicalJSONStable(t *testing.T) {
+	a, err := RunSpec{Graph: "STAR:8", Protocol: ProtoPush, Trials: 2, Seed: 1, Source: -5}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpec{Graph: "star:8", Protocol: ProtoPush, Trials: 2, Seed: 1, Source: -1, Alpha: 3}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.CanonicalJSON(), b.CanonicalJSON()) {
+		t.Fatalf("equivalent specs encode differently:\n%s\n%s", a.CanonicalJSON(), b.CanonicalJSON())
+	}
+	c := a
+	c.Seed = 2
+	if bytes.Equal(a.CanonicalJSON(), c.CanonicalJSON()) {
+		t.Fatal("distinct specs share an encoding")
+	}
+}

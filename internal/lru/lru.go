@@ -16,6 +16,12 @@
 // Values are immutable once published: Put replaces the entry rather
 // than overwriting its value, so readers that obtained an entry never
 // race a writer.
+//
+// OnEvict installs a callback observing capacity evictions — the hook the
+// serving layer's disk spill tier hangs off: an entry displaced by the
+// size bound is handed to the callback (outside the cache lock) instead
+// of vanishing. Replacements and explicit Deletes are not evictions and
+// do not fire it.
 package lru
 
 import (
@@ -49,6 +55,7 @@ type Cache[K comparable, V any] struct {
 	tail      *entry[K, V] // least recently used
 	nlinked   int          // completed entries in the recency list
 	evictions int64
+	onEvict   func(K, V) // capacity-eviction observer; may be nil
 }
 
 // New returns a cache bounded to cap completed entries. cap < 1 is
@@ -59,6 +66,18 @@ func New[K comparable, V any](cap int) *Cache[K, V] {
 		cap = 1
 	}
 	return &Cache[K, V]{cap: cap, m: make(map[K]*entry[K, V], cap+1)}
+}
+
+// OnEvict installs fn as the capacity-eviction observer: every entry the
+// size bound displaces is passed to fn after the cache lock is released,
+// so fn may use the cache (even for the evicted key) without deadlock.
+// Entries removed by Delete or replaced by Put are not evictions and are
+// not observed. Install the observer before the cache is shared; a nil fn
+// removes it.
+func (c *Cache[K, V]) OnEvict(fn func(K, V)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
 }
 
 // Get returns the value cached for k, marking it most recently used.
@@ -83,13 +102,25 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 // callers the value they build.
 func (c *Cache[K, V]) Put(k K, v V) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.detach(k)
 	e := &entry[K, V]{key: k, val: v}
 	e.once.Do(func() {})
 	e.ready.Store(true)
 	c.m[k] = e
-	c.link(e)
+	evicted, fn := c.link(e), c.onEvict
+	c.mu.Unlock()
+	fire(fn, evicted)
+}
+
+// fire hands capacity-evicted entries to the observer. Runs with the
+// cache lock released.
+func fire[K comparable, V any](fn func(K, V), evicted []*entry[K, V]) {
+	if fn == nil {
+		return
+	}
+	for _, e := range evicted {
+		fn(e.key, e.val)
+	}
 }
 
 // Delete removes k if present. An in-flight build of k finishes normally
@@ -133,14 +164,17 @@ func (c *Cache[K, V]) GetOrBuildErr(k K, build func() (V, error)) (V, error) {
 		// Link only if the build succeeded and the key still maps to this
 		// entry (it may have been Put-replaced or Deleted while building);
 		// forget failures entirely.
+		var evicted []*entry[K, V]
 		if c.m[k] == e {
 			if e.err != nil {
 				delete(c.m, k)
 			} else {
-				c.link(e)
+				evicted = c.link(e)
 			}
 		}
+		fn := c.onEvict
 		c.mu.Unlock()
+		fire(fn, evicted)
 	})
 	return e.val, e.err
 }
@@ -176,9 +210,10 @@ func (c *Cache[K, V]) detach(k K) {
 	delete(c.m, k)
 }
 
-// link puts a completed entry at the front of the recency list and
-// evicts past capacity. Caller holds mu.
-func (c *Cache[K, V]) link(e *entry[K, V]) {
+// link puts a completed entry at the front of the recency list, evicts
+// past capacity, and returns the evicted entries for the caller to hand
+// to the observer once mu is released. Caller holds mu.
+func (c *Cache[K, V]) link(e *entry[K, V]) []*entry[K, V] {
 	e.linked = true
 	c.nlinked++
 	e.prev = nil
@@ -192,12 +227,15 @@ func (c *Cache[K, V]) link(e *entry[K, V]) {
 	}
 	// Evict from the tail; only linked (completed) entries are in the
 	// list, so in-flight builds are never displaced.
+	var evicted []*entry[K, V]
 	for c.nlinked > c.cap {
 		lru := c.tail
 		c.unlink(lru)
 		delete(c.m, lru.key)
 		c.evictions++
+		evicted = append(evicted, lru)
 	}
+	return evicted
 }
 
 // moveToFront marks e most recently used. Caller holds mu. unlink+link

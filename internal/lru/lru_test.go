@@ -245,3 +245,55 @@ func TestGetOrBuildErrConcurrentFailure(t *testing.T) {
 		t.Fatal("failed key cached")
 	}
 }
+
+// TestOnEvictCapacityOnly: the observer sees exactly the entries the size
+// bound displaces — not replacements, not Deletes — with key and value.
+func TestOnEvictCapacityOnly(t *testing.T) {
+	c := New[string, int](2)
+	var mu sync.Mutex
+	evicted := map[string]int{}
+	c.OnEvict(func(k string, v int) {
+		mu.Lock()
+		evicted[k] = v
+		mu.Unlock()
+	})
+	c.Put("a", 1)
+	c.Put("a", 9) // replacement: not an eviction
+	c.Put("b", 2)
+	c.Delete("b") // explicit removal: not an eviction
+	c.Put("b", 2)
+	c.Put("c", 3) // capacity: evicts "a"
+	if len(evicted) != 1 || evicted["a"] != 9 {
+		t.Fatalf("evicted = %v, want only a:9", evicted)
+	}
+	// GetOrBuild completions take recency slots and can evict too.
+	c.GetOrBuild("d", func() int { return 4 })
+	if len(evicted) != 2 || evicted["b"] != 2 {
+		t.Fatalf("evicted = %v, want a:9 and b:2", evicted)
+	}
+}
+
+// TestOnEvictReentrant: the observer runs outside the cache lock, so it
+// may call back into the cache — even re-inserting the evicted key —
+// without deadlock.
+func TestOnEvictReentrant(t *testing.T) {
+	c := New[string, int](1)
+	var calls atomic.Int32
+	c.OnEvict(func(k string, v int) {
+		// First-level eviction only: re-inserting evicts again; don't loop.
+		if calls.Add(1) == 1 {
+			if _, ok := c.Get(k); ok {
+				t.Errorf("evicted key %q still resident inside observer", k)
+			}
+			c.Put("observer", v)
+		}
+	})
+	c.Put("a", 1)
+	c.Put("b", 2) // evicts a -> observer Puts "observer" -> evicts b
+	if calls.Load() != 2 {
+		t.Fatalf("observer ran %d times, want 2", calls.Load())
+	}
+	if _, ok := c.Get("observer"); !ok {
+		t.Fatal("observer's own Put lost")
+	}
+}

@@ -10,18 +10,16 @@ import (
 	"rumor/internal/experiment"
 )
 
-// sweepLimit bounds the cross-product size of one /v1/sweep request.
-const sweepLimit = 1024
-
 // maxBodyBytes bounds request bodies; specs are a few hundred bytes.
 const maxBodyBytes = 1 << 20
 
 // Handler returns the HTTP API:
 //
 //	POST /v1/run              run (or join, or replay) one spec; ?wait=0 for async
-//	POST /v1/sweep            submit a cross-product of specs, returns job ids
-//	GET  /v1/jobs/{id}        job status; embeds the result when done
-//	GET  /v1/jobs/{id}/stream NDJSON per-trial results, replay + follow
+//	POST /v1/sweep            plan + run a cross-product of specs cache-aware;
+//	                          ?wait=0 for async (202 + per-point provenance)
+//	GET  /v1/jobs/{id}        job or sweep status; embeds the result when done
+//	GET  /v1/jobs/{id}/stream NDJSON results, replay + follow
 //	GET  /v1/healthz          liveness + counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -118,11 +116,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, jobStatusBody(id, j, c))
 		return
 	}
+	waitAndRespond(w, r, j, c)
+}
+
+// waitAndRespond is the shared waited-request tail of /v1/run and
+// /v1/sweep: wait for the in-flight job (exactly one of j and c is
+// non-nil), then write the result bytes or map a failure to 422.
+func waitAndRespond(w http.ResponseWriter, r *http.Request, j *Job, c *completedJob) {
 	if c == nil {
 		select {
 		case <-j.done:
 		case <-r.Context().Done():
-			// Client gone; the job keeps running for other waiters and the
+			// Client gone; the work keeps running for other waiters and the
 			// cache.
 			return
 		}
@@ -141,16 +146,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeRaw(w, http.StatusOK, c.resp)
 }
 
-// sweepRequest is the body of POST /v1/sweep: shared defaults plus the
-// axes of a cross-product. Empty axes inherit the default's value.
-type sweepRequest struct {
-	Defaults  experiment.RunSpec `json:"defaults"`
-	Graphs    []string           `json:"graphs"`
-	Protocols []experiment.Proto `json:"protocols,omitempty"`
-	Seeds     []uint64           `json:"seeds,omitempty"`
-}
-
-// sweepPoint reports one submitted point of a sweep.
+// sweepPoint reports one planned point of a fresh sweep: its identity
+// plus where the planner resolved it (cache/disk/dedup/run). Provenance
+// is planning metadata — it varies with store temperature, so it appears
+// only in the async 202 body and headers, never in the deterministic
+// sweep result.
 type sweepPoint struct {
 	Graph    string           `json:"graph"`
 	Protocol experiment.Proto `json:"protocol"`
@@ -159,12 +159,24 @@ type sweepPoint struct {
 	Source   string           `json:"source"`
 }
 
+// sweepStatus is the async (202) body of POST /v1/sweep?wait=0. The
+// provenance array is named "plan" — not "points" — so it cannot shadow
+// the embedded jobStatus.Points count, and the "points" key keeps one
+// type (int) across every endpoint.
+type sweepStatus struct {
+	jobStatus
+	Plan []sweepPoint `json:"plan,omitempty"` // fresh plans only
+}
+
 // handleSweep serves POST /v1/sweep: the paper's sweep shape — a list of
-// graphs × protocols × seeds sharing every other knob — submitted as
-// individual jobs that dedup and cache like any other request. Responds
-// 202 with one job id per point; poll or stream each id.
+// graphs × protocols × seeds sharing every other knob — planned
+// cache-aware: every point is probed against the store and only the
+// misses are scheduled, yet the assembled response and stream are
+// byte-identical to a cold sweep. By default the handler waits for the
+// assembled body (like /v1/run); with ?wait=0 it responds 202 with the
+// sweep job ID and per-point planning provenance.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	req := sweepRequest{Defaults: experiment.DefaultRunSpec()}
+	req := experiment.Sweep{Defaults: experiment.DefaultRunSpec()}
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -173,67 +185,62 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "sweep needs at least one graph")
 		return
 	}
-	protos := req.Protocols
-	if len(protos) == 0 {
-		protos = []experiment.Proto{req.Defaults.Protocol}
-	}
-	seeds := req.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{req.Defaults.Seed}
-	}
-	if n := len(req.Graphs) * len(protos) * len(seeds); n > sweepLimit {
-		writeError(w, http.StatusBadRequest, "sweep of %d points exceeds the limit of %d", n, sweepLimit)
+	if err := s.checkSweepBounds(req); err != nil {
+		// The cross-product cannot be scheduled as one sweep: a valid
+		// request the service refuses → 422, naming the dimension to shrink.
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	// Normalize every point before submitting any: validation is pure, so
-	// a bad point rejects the whole sweep with zero side effects.
-	type point struct {
-		spec  experiment.RunSpec
-		proto experiment.Proto
-		seed  uint64
+	// Expansion is pure: a bad point rejects the sweep with zero side
+	// effects.
+	points, err := req.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	specs := make([]point, 0, len(req.Graphs)*len(protos)*len(seeds))
-	for _, gs := range req.Graphs {
-		for _, p := range protos {
-			for _, seed := range seeds {
-				spec := req.Defaults
-				spec.Graph = gs
-				spec.Protocol = p
-				spec.Seed = seed
-				// A pinned defaults.graphSeed applies to every point (one
-				// random graph swept across protocol seeds); when unset,
-				// Normalize derives it from each point's Seed.
-				spec, err := spec.Normalize()
-				if err != nil {
-					writeError(w, http.StatusBadRequest, "point %s/%s/%d: %v", gs, p, seed, err)
-					return
-				}
-				specs = append(specs, point{spec, p, seed})
-			}
-		}
+	id, j, c, src, plan, err := s.submitSweep(points)
+	if err != nil {
+		// Scheduling has side effects; report the points resolved before
+		// the rejection so the caller can track simulations already running.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(submitStatus(err))
+		w.Write(mustMarshalLine(struct {
+			Error string       `json:"error"`
+			Plan  []sweepPoint `json:"plan"`
+		}{fmt.Sprintf("%v (the listed points were already resolved)", err), planProvenance(plan)}))
+		return
 	}
-	// Submission has side effects; on a mid-sweep rejection (queue full,
-	// draining) report the already-submitted points alongside the error so
-	// the caller can track the simulations that are running.
-	points := make([]sweepPoint, 0, len(specs))
-	for _, pt := range specs {
-		id, _, _, src, err := s.submit(pt.spec)
-		if err != nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(submitStatus(err))
-			w.Write(mustMarshalLine(struct {
-				Error string       `json:"error"`
-				Jobs  []sweepPoint `json:"jobs"`
-			}{fmt.Sprintf("point %s/%s/%d: %v (the listed jobs were already submitted)", pt.spec.Graph, pt.proto, pt.seed, err), points}))
-			return
-		}
+	w.Header().Set("X-Rumord-Job", id)
+	w.Header().Set("X-Rumord-Source", string(src))
+	if plan != nil {
+		w.Header().Set("X-Rumord-Sweep-Hits", fmt.Sprint(plan.hits))
+		w.Header().Set("X-Rumord-Sweep-Joined", fmt.Sprint(plan.joined))
+		w.Header().Set("X-Rumord-Sweep-Scheduled", fmt.Sprint(plan.scheduled))
+	}
+	if r.URL.Query().Get("wait") == "0" {
+		writeJSON(w, http.StatusAccepted, sweepStatus{
+			jobStatus: jobStatusBody(id, j, c),
+			Plan:      planProvenance(plan),
+		})
+		return
+	}
+	waitAndRespond(w, r, j, c)
+}
+
+// planProvenance renders a plan's per-point resolution for the async
+// body; nil for joined/cached sweeps (their original plan already ran).
+func planProvenance(plan *sweepPlan) []sweepPoint {
+	if plan == nil {
+		return nil
+	}
+	points := make([]sweepPoint, 0, len(plan.points))
+	for _, pp := range plan.points {
 		points = append(points, sweepPoint{
-			Graph: pt.spec.Graph, Protocol: pt.proto, Seed: pt.seed, Job: id, Source: string(src),
+			Graph: pp.spec.Graph, Protocol: pp.spec.Protocol, Seed: pp.spec.Seed,
+			Job: pp.id, Source: string(pp.src),
 		})
 	}
-	writeJSON(w, http.StatusAccepted, struct {
-		Jobs []sweepPoint `json:"jobs"`
-	}{points})
+	return points
 }
 
 // jobStatus is the body of GET /v1/jobs/{id}.
@@ -241,6 +248,7 @@ type jobStatus struct {
 	Job     string          `json:"job"`
 	Status  jobState        `json:"status"`
 	Trials  int             `json:"trials"`
+	Points  int             `json:"points,omitempty"` // sweep jobs only
 	Emitted int             `json:"emitted"`
 	Error   string          `json:"error,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
@@ -251,15 +259,15 @@ type jobStatus struct {
 func jobStatusBody(id string, j *Job, c *completedJob) jobStatus {
 	if j != nil {
 		j.mu.Lock()
-		st := jobStatus{Job: id, Status: j.state, Trials: j.Spec.Trials, Emitted: len(j.lines)}
+		st := jobStatus{Job: id, Status: j.state, Trials: j.trials, Points: j.points, Emitted: len(j.lines)}
 		j.mu.Unlock()
 		return st
 	}
 	if c.failed() {
-		return jobStatus{Job: id, Status: stateFailed, Error: c.errMsg, Trials: c.trials, Emitted: len(c.lines)}
+		return jobStatus{Job: id, Status: stateFailed, Error: c.errMsg, Trials: c.trials, Points: c.points, Emitted: len(c.lines)}
 	}
 	return jobStatus{
-		Job: id, Status: stateDone, Emitted: len(c.lines), Trials: c.trials,
+		Job: id, Status: stateDone, Emitted: len(c.lines), Trials: c.trials, Points: c.points,
 		Result: json.RawMessage(c.resp),
 	}
 }

@@ -21,13 +21,20 @@ const (
 	stateFailed  jobState = "failed"
 )
 
-// Job is one in-flight simulation: a normalized spec plus the per-trial
-// NDJSON frames appended as the engines emit results. Streamers read
+// Job is one in-flight unit of work — a simulation, or a sweep assembly
+// — plus the NDJSON frames appended as results arrive. Streamers read
 // lines under mu and wait on changed, which is closed and replaced on
 // every append — a broadcast that composes with context cancellation.
+//
+// Simulation jobs carry a Spec and run on the worker pool. Sweep jobs
+// (plan != nil) never enter the queue: an orchestrator goroutine waits on
+// their point jobs and assembles frames in plan order (see planner.go).
 type Job struct {
-	ID   string
-	Spec experiment.RunSpec
+	ID     string
+	Spec   experiment.RunSpec
+	plan   *sweepPlan // non-nil for sweep jobs
+	trials int        // expected trial frames (summed over points for sweeps)
+	points int        // sweep points (0 for simulation jobs)
 
 	mu      sync.Mutex
 	state   jobState
@@ -43,10 +50,26 @@ func newJob(id string, spec experiment.RunSpec) *Job {
 	return &Job{
 		ID:      id,
 		Spec:    spec,
+		trials:  spec.Trials,
 		state:   stateQueued,
 		changed: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+}
+
+func newSweepJob(id string, plan *sweepPlan) *Job {
+	j := &Job{
+		ID:      id,
+		plan:    plan,
+		points:  len(plan.points),
+		state:   stateQueued,
+		changed: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, pp := range plan.points {
+		j.trials += pp.spec.Trials
+	}
+	return j
 }
 
 // setRunning transitions queued → running.
@@ -65,7 +88,9 @@ func (j *Job) appendLine(line []byte) {
 	j.mu.Unlock()
 }
 
-// complete finalizes the job and returns the terminal frame.
+// complete finalizes the job and returns the terminal frame. Sweep
+// streams interleave one header frame per point with the trial frames,
+// so their terminal frame reports both counts.
 func (j *Job) complete(resp []byte, err error) []byte {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -76,7 +101,7 @@ func (j *Job) complete(resp []byte, err error) []byte {
 	} else {
 		j.state = stateDone
 		j.resp = resp
-		j.final = mustMarshalLine(streamFinal{Done: true, Job: j.ID, Trials: len(j.lines)})
+		j.final = mustMarshalLine(streamFinal{Done: true, Job: j.ID, Points: j.points, Trials: len(j.lines) - j.points})
 	}
 	j.bump()
 	close(j.done)
@@ -115,14 +140,15 @@ func (j *Job) result() ([]byte, error) {
 	return j.resp, j.err
 }
 
-// completedJob is the payload the result LRU retains for a finished job:
-// the exact bytes a fresh run produced, so cache hits replay them
-// verbatim.
+// completedJob is the payload the result LRU retains (and the disk tier
+// persists) for a finished job: the exact bytes a fresh run produced, so
+// cache and disk hits replay them verbatim.
 type completedJob struct {
 	resp   []byte   // nil for failures
-	lines  [][]byte // trial frames, trial order
+	lines  [][]byte // stream frames, emission order
 	final  []byte   // terminal stream frame
 	trials int      // requested trial count, for status reporting
+	points int      // sweep points (0 for simulation jobs)
 	errMsg string   // non-empty for failures
 }
 
@@ -225,10 +251,13 @@ func buildRunResponse(spec experiment.RunSpec, g *graph.Graph, src graph.Vertex,
 	return resp
 }
 
-// streamFinal is the terminal NDJSON frame of a job stream.
+// streamFinal is the terminal NDJSON frame of a job stream. Points is
+// set only for sweeps, whose streams carry one header frame per point
+// ahead of that point's trial frames.
 type streamFinal struct {
 	Done   bool   `json:"done"`
 	Job    string `json:"job"`
+	Points int    `json:"points,omitempty"`
 	Trials int    `json:"trials,omitempty"`
 	Error  string `json:"error,omitempty"`
 }

@@ -1,0 +1,246 @@
+// Cache-aware sweep planning: POST /v1/sweep expands its cross-product
+// in canonical order, probes every point against the store (in-flight
+// jobs, memory LRU, disk tier), schedules only the misses through the
+// worker pool, and assembles hits + fresh results into one deterministic
+// response and NDJSON stream. Because every point's payload is
+// byte-identical however it is served, the assembled sweep is
+// byte-identical whether the store was cold, partly warm, or fully warm
+// — the property the planner's tests pin.
+//
+// A sweep is itself a job: identified by the hash of its ordered point
+// IDs, deduplicated against identical in-flight sweeps, cached in the
+// sharded store, and spilled to disk like any other result. Sweep jobs
+// never occupy worker slots — an orchestrator goroutine waits on the
+// point jobs (all enqueued before the sweep is registered, so draining
+// can never strand one) and appends frames in plan order.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"rumor/internal/experiment"
+)
+
+// sweepKeyPrefix versions sweep identity separately from point identity:
+// a sweep's ID hashes the ordered point IDs, so it changes whenever any
+// point's identity (or the response format, via this prefix) does.
+const sweepKeyPrefix = "rumord/sweep/v1|"
+
+// sweepLimit is the absolute bound on one sweep's cross-product,
+// independent of the queue bound.
+const sweepLimit = 1024
+
+// plannedPoint is one cross-product point after planning: its normalized
+// spec and ID, plus exactly one of hit (a payload some store tier already
+// had) or job (in-flight — joined or freshly scheduled).
+type plannedPoint struct {
+	spec experiment.RunSpec
+	id   string
+	hit  *completedJob
+	job  *Job
+	src  source
+}
+
+// sweepPlan is the planner's outcome for a fresh sweep: every point
+// resolved, with the tallies the response headers report.
+type sweepPlan struct {
+	points    []plannedPoint
+	hits      int // served from memory or disk, no work scheduled
+	joined    int // deduplicated onto jobs already in flight
+	scheduled int // genuinely new simulations queued
+}
+
+// sweepBoundsError rejects a sweep whose cross-product cannot be
+// scheduled; it names the largest dimension so the caller knows what to
+// shrink. Mapped to 422 by the handler.
+type sweepBoundsError struct {
+	graphs, protocols, seeds int
+	bound                    int
+	boundName                string
+}
+
+func (e *sweepBoundsError) Error() string {
+	dim, n := "graphs", e.graphs
+	if e.protocols > n {
+		dim, n = "protocols", e.protocols
+	}
+	if e.seeds > n {
+		dim, n = "seeds", e.seeds
+	}
+	return fmt.Sprintf(
+		"sweep cross-product of %d points (%d graphs × %d protocols × %d seeds) exceeds the %s of %d; largest dimension: %s (%d)",
+		e.graphs*e.protocols*e.seeds, e.graphs, e.protocols, e.seeds, e.boundName, e.bound, dim, n)
+}
+
+// checkSweepBounds rejects cross-products larger than the job queue (a
+// sweep's misses must all be schedulable at once) or the absolute sweep
+// limit.
+func (s *Server) checkSweepBounds(req experiment.Sweep) error {
+	g, p, sd := req.Dims()
+	bound, name := s.opts.queueSize(), "job queue bound"
+	if sweepLimit < bound {
+		bound, name = sweepLimit, "sweep limit"
+	}
+	if g*p*sd > bound {
+		return &sweepBoundsError{graphs: g, protocols: p, seeds: sd, bound: bound, boundName: name}
+	}
+	return nil
+}
+
+// sweepID hashes the ordered point IDs into the sweep's identity. Two
+// requests that expand to the same points in the same order — however
+// spelled — are the same sweep.
+func sweepID(pointIDs []string) string {
+	h := sha256.New()
+	h.Write([]byte(sweepKeyPrefix))
+	for _, id := range pointIDs {
+		h.Write([]byte(id))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// submitSweep resolves an expanded sweep: a cached sweep payload, an
+// identical in-flight sweep, or a fresh plan whose misses are now queued
+// and whose orchestrator is running. Exactly one of j and c is non-nil
+// on success; plan is non-nil only for a fresh plan. On error, plan
+// reports the points resolved before the failure (their simulations keep
+// running and warm the cache).
+func (s *Server) submitSweep(points []experiment.SweepPoint) (id string, j *Job, c *completedJob, src source, plan *sweepPlan, err error) {
+	ids := make([]string, len(points))
+	for i := range points {
+		ids[i] = jobID(points[i].Spec)
+	}
+	id = sweepID(ids)
+	s.requests.Add(1)
+	if j, c, src, ok := s.store.find(id, true); ok {
+		s.countHit(src)
+		return id, j, c, src, nil, nil
+	}
+	// Plan: resolve every point through the regular submission path, so
+	// hits, joins, and scheduling share the single-job machinery (and its
+	// counters) exactly.
+	plan = &sweepPlan{points: make([]plannedPoint, 0, len(points))}
+	for i, pt := range points {
+		_, pj, pc, psrc, perr := s.submitWithID(ids[i], pt.Spec)
+		if perr != nil {
+			return "", nil, nil, "", plan, perr
+		}
+		plan.points = append(plan.points, plannedPoint{spec: pt.Spec, id: ids[i], hit: pc, job: pj, src: psrc})
+		switch {
+		case pc != nil:
+			plan.hits++
+		case psrc == sourceDedup:
+			plan.joined++
+		default:
+			plan.scheduled++
+		}
+	}
+	sj := newSweepJob(id, plan)
+	s.lifecycle.RLock()
+	if s.draining {
+		s.lifecycle.RUnlock()
+		return "", nil, nil, "", plan, ErrDraining
+	}
+	sh := s.store.shardFor(id)
+	sh.mu.Lock()
+	// An identical sweep may have raced past us; its plan resolved the
+	// same points (our scheduled misses deduplicated onto the same jobs),
+	// so joining it drops nothing.
+	if ex, ok := sh.jobs[id]; ok {
+		sh.mu.Unlock()
+		s.lifecycle.RUnlock()
+		s.dedupHits.Add(1)
+		return id, ex, nil, sourceDedup, nil, nil
+	}
+	if c, ok := sh.cache.Get(id); ok {
+		sh.mu.Unlock()
+		s.lifecycle.RUnlock()
+		s.cacheHits.Add(1)
+		return id, nil, c, sourceCache, nil, nil
+	}
+	sh.jobs[id] = sj
+	s.jobsWG.Add(1)
+	sh.mu.Unlock()
+	s.lifecycle.RUnlock()
+	s.sweeps.Add(1)
+	go s.runSweep(sj)
+	return id, sj, nil, sourceRun, plan, nil
+}
+
+// sweepHeaderJSON is the per-point header frame of a sweep stream: it
+// precedes the point's trial frames and carries the point's identity.
+type sweepHeaderJSON struct {
+	Point    int              `json:"point"`
+	Graph    string           `json:"graph"`
+	Protocol experiment.Proto `json:"protocol"`
+	Seed     uint64           `json:"seed"`
+	Job      string           `json:"job"`
+	Frames   int              `json:"frames"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// sweepPointJSON is one point's entry in the assembled sweep response.
+type sweepPointJSON struct {
+	Graph    string           `json:"graph"`
+	Protocol experiment.Proto `json:"protocol"`
+	Seed     uint64           `json:"seed"`
+	Job      string           `json:"job"`
+	Error    string           `json:"error,omitempty"`
+	Result   json.RawMessage  `json:"result,omitempty"`
+}
+
+// sweepResponse is the full result body of a waited POST /v1/sweep (and
+// the "result" of a done GET /v1/jobs/{sweep-id}). Every field derives
+// from the normalized point specs and their deterministic payloads, so
+// the body is byte-identical however the store resolved each point.
+type sweepResponse struct {
+	Sweep  string           `json:"sweep"`
+	Points []sweepPointJSON `json:"points"`
+}
+
+// runSweep assembles a planned sweep: for each point in plan order, wait
+// for its payload (immediate for hits), append the header frame and the
+// point's trial frames, and collect its response entry. Point payloads
+// are held by pointer — LRU eviction between planning and assembly
+// cannot lose them.
+func (s *Server) runSweep(j *Job) {
+	defer s.jobsWG.Done()
+	j.setRunning()
+	resp := sweepResponse{Sweep: j.ID, Points: make([]sweepPointJSON, 0, len(j.plan.points))}
+	for i, pp := range j.plan.points {
+		c := pp.hit
+		if c == nil {
+			<-pp.job.done
+			r, err := pp.job.result()
+			c = &completedJob{resp: r, lines: pp.job.snapshotLines()}
+			if err != nil {
+				c.errMsg = err.Error()
+			}
+		}
+		j.appendLine(mustMarshalLine(sweepHeaderJSON{
+			Point: i, Graph: pp.spec.Graph, Protocol: pp.spec.Protocol, Seed: pp.spec.Seed,
+			Job: pp.id, Frames: len(c.lines), Error: c.errMsg,
+		}))
+		for _, line := range c.lines {
+			j.appendLine(line)
+		}
+		entry := sweepPointJSON{
+			Graph: pp.spec.Graph, Protocol: pp.spec.Protocol, Seed: pp.spec.Seed, Job: pp.id,
+		}
+		if c.failed() {
+			entry.Error = c.errMsg
+		} else {
+			entry.Result = json.RawMessage(bytes.TrimSuffix(c.resp, []byte("\n")))
+		}
+		resp.Points = append(resp.Points, entry)
+	}
+	// Point failures are deterministic (a spec that cannot build fails
+	// identically every time), so the assembled body — failures included —
+	// is cacheable; the sweep job itself always completes.
+	s.finish(j, mustMarshalLine(resp), nil)
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rumor/internal/experiment"
+)
+
+// postSweep posts a sweep body and returns status, headers, and body.
+func postSweep(t *testing.T, ts *httptest.Server, body string, wait bool) (int, http.Header, []byte) {
+	t.Helper()
+	url := ts.URL + "/v1/sweep"
+	if !wait {
+		url += "?wait=0"
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// pickDistinct samples k distinct elements of pool in pool order (so the
+// request is deterministic given the rng).
+func pickDistinct[T any](rng *rand.Rand, pool []T, k int) []T {
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]T, 0, k)
+	for i, in := range pool {
+		for _, j := range idx {
+			if i == j {
+				out = append(out, in)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestSweepPlannerWarmColdEquivalence is the planner's property test:
+// for random sweep specs, a sweep against a pre-warmed store — where a
+// random subset of points was already run (and so is served from cache)
+// and only the misses are computed — produces a response body and a
+// stream byte-identical to the same sweep on a cold store, and schedules
+// exactly the misses.
+func TestSweepPlannerWarmColdEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	graphPool := []string{"star:12", "star:20", "cycle:16", "path:14", "complete:8", "doublestar:6"}
+	protoPool := []experiment.Proto{
+		experiment.ProtoPush, experiment.ProtoPPull, experiment.ProtoVisitX,
+		experiment.ProtoMeetX, experiment.ProtoHybrid,
+	}
+	for iter := 0; iter < 6; iter++ {
+		graphs := pickDistinct(rng, graphPool, 1+rng.Intn(3))
+		protos := pickDistinct(rng, protoPool, 1+rng.Intn(2))
+		seeds := []uint64{1 + uint64(rng.Intn(50))}
+		if rng.Intn(2) == 0 {
+			seeds = append(seeds, 100+uint64(rng.Intn(50)))
+		}
+		trials := 1 + rng.Intn(3)
+		sw := experiment.Sweep{Defaults: experiment.DefaultRunSpec(), Graphs: graphs, Protocols: protos, Seeds: seeds}
+		sw.Defaults.Trials = trials
+		points, err := sw.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqBody, err := json.Marshal(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := string(reqBody)
+		label := fmt.Sprintf("iter %d (%v × %v × %v, %d trials)", iter, graphs, protos, seeds, trials)
+
+		// Cold store: every point is a miss.
+		cold, cts := newTestServer(t, Options{Workers: 2})
+		code, hdr, coldBody := postSweep(t, cts, body, true)
+		if code != http.StatusOK {
+			t.Fatalf("%s: cold sweep status %d body %s", label, code, coldBody)
+		}
+		if got := cold.Stats().Simulations; got != int64(len(points)) {
+			t.Fatalf("%s: cold sweep ran %d simulations, want %d", label, got, len(points))
+		}
+		coldStream := strings.Join(streamLines(t, cts, hdr.Get("X-Rumord-Job")), "\n")
+
+		// Warm store: pre-run a random subset of points individually.
+		warm, wts := newTestServer(t, Options{Workers: 2})
+		warmed := 0
+		for _, pt := range points {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			if code, _, b := postRun(t, wts, string(pt.Spec.CanonicalJSON())); code != http.StatusOK {
+				t.Fatalf("%s: pre-warm %s: status %d body %s", label, pt.Spec.Graph, code, b)
+			}
+			warmed++
+		}
+		before := warm.Stats().Simulations
+		if before != int64(warmed) {
+			t.Fatalf("%s: pre-warming ran %d simulations, want %d", label, before, warmed)
+		}
+		code, whdr, warmBody := postSweep(t, wts, body, true)
+		if code != http.StatusOK {
+			t.Fatalf("%s: warm sweep status %d body %s", label, code, warmBody)
+		}
+		// The simulation-count probe: only the misses were scheduled.
+		if got := warm.Stats().Simulations - before; got != int64(len(points)-warmed) {
+			t.Fatalf("%s: warm sweep ran %d simulations, want only the %d misses",
+				label, got, len(points)-warmed)
+		}
+		if h := whdr.Get("X-Rumord-Sweep-Hits"); h != fmt.Sprint(warmed) {
+			t.Fatalf("%s: planner reported %s hits, want %d", label, h, warmed)
+		}
+		// Byte-identity: body and stream frame order match the cold run.
+		if !bytes.Equal(warmBody, coldBody) {
+			t.Fatalf("%s: warm sweep body differs from cold\ncold: %s\nwarm: %s", label, coldBody, warmBody)
+		}
+		warmStream := strings.Join(streamLines(t, wts, whdr.Get("X-Rumord-Job")), "\n")
+		if warmStream != coldStream {
+			t.Fatalf("%s: warm sweep stream differs from cold\ncold:\n%s\nwarm:\n%s", label, coldStream, warmStream)
+		}
+	}
+}
+
+// TestSweepStreamShape: a sweep stream is, per point in cross-product
+// order, one header frame then that point's trial frames in strict trial
+// order, closed by a terminal frame carrying both counts.
+func TestSweepStreamShape(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	const trials = 3
+	body := fmt.Sprintf(`{"defaults":{"trials":%d,"seed":2},"graphs":["star:16","cycle:12"],"protocols":["push","visitx"]}`, trials)
+	code, hdr, _ := postSweep(t, ts, body, true)
+	if code != http.StatusOK {
+		t.Fatalf("sweep status %d", code)
+	}
+	lines := streamLines(t, ts, hdr.Get("X-Rumord-Job"))
+	const numPoints = 4
+	if want := numPoints*(trials+1) + 1; len(lines) != want {
+		t.Fatalf("stream has %d frames, want %d", len(lines), want)
+	}
+	for p := 0; p < numPoints; p++ {
+		base := p * (trials + 1)
+		var head struct {
+			Point  *int   `json:"point"`
+			Job    string `json:"job"`
+			Frames int    `json:"frames"`
+		}
+		if err := json.Unmarshal([]byte(lines[base]), &head); err != nil {
+			t.Fatalf("header %d: %v (%s)", p, err, lines[base])
+		}
+		if head.Point == nil || *head.Point != p || head.Job == "" || head.Frames != trials {
+			t.Fatalf("header %d = %s", p, lines[base])
+		}
+		for i := 0; i < trials; i++ {
+			var frame struct {
+				Trial *int `json:"trial"`
+			}
+			if err := json.Unmarshal([]byte(lines[base+1+i]), &frame); err != nil || frame.Trial == nil || *frame.Trial != i {
+				t.Fatalf("point %d frame %d out of order: %s", p, i, lines[base+1+i])
+			}
+		}
+	}
+	var fin struct {
+		Done   bool `json:"done"`
+		Points int  `json:"points"`
+		Trials int  `json:"trials"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &fin); err != nil {
+		t.Fatal(err)
+	}
+	if !fin.Done || fin.Points != numPoints || fin.Trials != numPoints*trials {
+		t.Fatalf("terminal frame %+v", fin)
+	}
+}
+
+// TestSweepOverQueueBound422 is the regression test for oversized
+// cross-products: a sweep that cannot be scheduled must be rejected with
+// 422 — not 500, not a partial 429 — naming the offending dimension.
+func TestSweepOverQueueBound422(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueSize: 4})
+	body := `{"defaults":{"trials":1,"seed":1},
+	          "graphs":["star:8","star:12"],
+	          "protocols":["push","push-pull","visitx"],
+	          "seeds":[1]}`
+	code, _, b := postSweep(t, ts, body, true)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d body %s, want 422", code, b)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatal(err)
+	}
+	// 2 × 3 × 1 = 6 points over a queue bound of 4; protocols is the
+	// largest dimension.
+	for _, want := range []string{"6 points", "queue bound", "protocols (3)"} {
+		if !strings.Contains(e.Error, want) {
+			t.Fatalf("422 error %q does not name %q", e.Error, want)
+		}
+	}
+	// The rejection must be a pure plan-time check: nothing scheduled.
+	if st := s.Stats(); st.Simulations != 0 || st.JobsLive != 0 {
+		t.Fatalf("oversized sweep had side effects: %+v", st)
+	}
+}
+
+// TestSweepDedupConcurrent: identical concurrent sweeps collapse onto
+// one plan — point simulations run once and every client gets identical
+// bytes.
+func TestSweepDedupConcurrent(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	release := setGate(s)
+	body := `{"defaults":{"trials":2,"seed":3},"graphs":["star:16","cycle:12"],"protocols":["visitx"]}`
+	const clients = 4
+	codes := make([]int, clients)
+	bodies := make([][]byte, clients)
+	done := make(chan int, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			codes[i], _, bodies[i] = postSweep(t, ts, body, true)
+			done <- i
+		}(i)
+	}
+	// The first plan is registered (2 point jobs + the sweep job) and its
+	// simulations are gated, so every other client resolves against the
+	// in-flight sweep, not the cache.
+	waitUntil(t, "sweep plan in flight", func() bool { return s.Stats().JobsLive >= 3 })
+	close(release)
+	for i := 0; i < clients; i++ {
+		<-done
+	}
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d sweep body differs", i)
+		}
+	}
+	if st := s.Stats(); st.Simulations != 2 {
+		t.Fatalf("%d identical sweeps ran %d simulations, want 2 (one per point)", clients, st.Simulations)
+	}
+}

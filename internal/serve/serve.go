@@ -12,12 +12,23 @@
 // same ID. That identity drives everything downstream:
 //
 //   - singleflight dedup: N identical in-flight requests share one
-//     simulation (the jobs map holds one Job per ID);
+//     simulation (the job table holds one Job per ID);
 //   - result caching: completed payloads land in a size-bounded LRU keyed
 //     by the same ID, so repeats are served without simulating;
 //   - determinism: the engines are bit-deterministic for a given spec, so
 //     a fresh, deduplicated, or cached response for the same ID is
 //     byte-identical — pinned by the end-to-end tests.
+//
+// # Store tiers
+//
+// The job table and the completed-result LRU are sharded by job-hash
+// prefix (see store.go), so intake and lookup from concurrent clients
+// take per-shard locks instead of serializing server-wide. Below memory
+// sits an optional disk tier (Options.DataDir, see spill.go): payloads
+// the LRU evicts are written to content-addressed files, and lookups
+// fall through memory → disk → recompute. Disk replays are the original
+// bytes, so the byte-identity guarantee extends across evictions and
+// server restarts.
 //
 // # Execution model
 //
@@ -31,29 +42,29 @@
 // depend on it). Trial results are emitted in strict trial order as the
 // engines complete them (core's EmitFunc contract) and appended to the job
 // as pre-marshaled NDJSON frames; GET /v1/jobs/{id}/stream replays the
-// frames and follows live. Shutdown stops intake (503) and drains queued
-// and running jobs without dropping results.
+// frames and follows live. Sweeps are planned cache-aware (see
+// planner.go): only cross-product points missing from every store tier
+// are scheduled, yet the assembled response and stream are byte-identical
+// to a cold sweep. Shutdown stops intake (503) and drains queued and
+// running jobs without dropping results.
 package serve
 
 import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"rumor/internal/core"
 	"rumor/internal/experiment"
-	"rumor/internal/lru"
 	"rumor/internal/par"
 )
 
 // keyPrefix versions the request-identity scheme: bump it when the
-// canonical encoding or the response format changes so stale cache
-// identities can never alias new ones.
+// canonical encoding or the response format changes so stale cache (and
+// disk-spill) identities can never alias new ones.
 const keyPrefix = "rumord/v1|"
 
 // Options configures a Server. The zero value selects all defaults.
@@ -62,10 +73,20 @@ type Options struct {
 	// processors (min 1) — each simulation already shards across cores.
 	Workers int
 	// QueueSize bounds accepted-but-not-started jobs; submissions beyond
-	// it are rejected with 429. Default 256.
+	// it are rejected with 429, and sweeps whose cross-product exceeds it
+	// are rejected with 422 up front. Default 256.
 	QueueSize int
-	// CacheSize bounds the completed-result LRU (entries). Default 512.
+	// CacheSize bounds the completed-result LRU (entries, summed across
+	// shards). Default 512.
 	CacheSize int
+	// Shards is the number of job-table/cache shards. Default 16, max 256
+	// (the shard selector keys on one byte of the job hash); larger values
+	// are clamped so no shard is ever unaddressable.
+	Shards int
+	// DataDir, when non-empty, enables the disk spill tier: payloads the
+	// LRU evicts persist as content-addressed files there and are replayed
+	// byte-identically — including across restarts on the same directory.
+	DataDir string
 }
 
 func (o Options) workers() int {
@@ -93,17 +114,33 @@ func (o Options) cacheSize() int {
 	return 512
 }
 
+func (o Options) shards() int {
+	switch {
+	case o.Shards <= 0:
+		return 16
+	case o.Shards > 256:
+		return 256
+	}
+	return o.Shards
+}
+
 // Stats is a snapshot of the server's counters, exposed on /v1/healthz
 // and asserted on by the end-to-end tests (dedup means Simulations stays
-// at 1 no matter how many identical requests arrive).
+// at 1 no matter how many identical requests arrive; a fully warm sweep
+// keeps it unchanged).
 type Stats struct {
 	Requests    int64 `json:"requests"`    // normalized submissions
 	Simulations int64 `json:"simulations"` // jobs actually simulated
 	DedupHits   int64 `json:"dedupHits"`   // joined an in-flight job
 	CacheHits   int64 `json:"cacheHits"`   // served from the result LRU
+	SpillHits   int64 `json:"spillHits"`   // served from the disk tier
+	SpillWrites int64 `json:"spillWrites"` // payloads persisted on eviction
+	SpillLen    int64 `json:"spillLen"`    // entries resident on disk
 	Failures    int64 `json:"failures"`    // jobs that ended in error
+	Sweeps      int64 `json:"sweeps"`      // sweep plans assembled fresh
 	JobsLive    int   `json:"jobsLive"`    // queued + running now
 	CacheLen    int   `json:"cacheLen"`    // completed payloads resident
+	Shards      int   `json:"shards"`      // store shard count
 	Draining    bool  `json:"draining"`
 }
 
@@ -116,15 +153,20 @@ var ErrBusy = errors.New("serve: job queue full")
 // Server is the simulation service. Create with New, expose via Handler,
 // stop with Shutdown.
 type Server struct {
-	opts Options
+	opts  Options
+	store *store
 
-	mu          sync.Mutex
+	// lifecycle orders submissions against shutdown: every path that
+	// checks draining and then registers with jobsWG holds the read side,
+	// so once Shutdown publishes draining under the write side, no new
+	// jobsWG.Add can race its Wait. Submitters never hold it across
+	// simulation or I/O — only across the check-register window — so it is
+	// not a throughput lock; shard locks (store.go) guard the tables.
+	lifecycle   sync.RWMutex
 	draining    bool
 	queueClosed bool
-	jobs        map[string]*Job // in-flight (queued or running), by ID
-	cache       *lru.Cache[string, *completedJob]
 	queue       chan *Job
-	jobsWG      sync.WaitGroup // accepted jobs not yet finished
+	jobsWG      sync.WaitGroup // accepted jobs (and sweeps) not yet finished
 	workerWG    sync.WaitGroup
 
 	requests    atomic.Int64
@@ -132,55 +174,75 @@ type Server struct {
 	dedupHits   atomic.Int64
 	cacheHits   atomic.Int64
 	failures    atomic.Int64
+	sweeps      atomic.Int64
 
 	// testRunGate, when set (tests only), runs at the top of each
 	// simulation; blocking it holds jobs in the running state so tests can
-	// overlap requests deterministically.
+	// overlap requests deterministically. Guarded by lifecycle.
 	testRunGate func(*Job)
 }
 
-// New starts a Server's worker pool and returns it.
-func New(opts Options) *Server {
+// New starts a Server's worker pool and returns it. With a DataDir it
+// opens (and scans) the disk spill tier first; a directory that cannot
+// be prepared is a startup error.
+func New(opts Options) (*Server, error) {
+	var sp *spill
+	if opts.DataDir != "" {
+		var err error
+		if sp, err = openSpill(opts.DataDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		opts:  opts,
-		jobs:  make(map[string]*Job),
-		cache: lru.New[string, *completedJob](opts.cacheSize()),
+		store: newStore(opts.shards(), opts.cacheSize(), sp),
 		queue: make(chan *Job, opts.queueSize()),
 	}
 	for i := 0; i < opts.workers(); i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// SpillLen reports the number of entries resident in the disk tier (0
+// without a DataDir) — what the startup scan found plus writes since.
+func (s *Server) SpillLen() int64 {
+	if s.store.spill == nil {
+		return 0
+	}
+	return s.store.spill.resident.Load()
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	live, draining := len(s.jobs), s.draining
-	s.mu.Unlock()
-	return Stats{
+	s.lifecycle.RLock()
+	draining := s.draining
+	s.lifecycle.RUnlock()
+	st := Stats{
 		Requests:    s.requests.Load(),
 		Simulations: s.simulations.Load(),
 		DedupHits:   s.dedupHits.Load(),
 		CacheHits:   s.cacheHits.Load(),
 		Failures:    s.failures.Load(),
-		JobsLive:    live,
-		CacheLen:    s.cache.Len(),
+		Sweeps:      s.sweeps.Load(),
+		JobsLive:    s.store.jobsLive(),
+		CacheLen:    s.store.cacheLen(),
+		Shards:      len(s.store.shards),
 		Draining:    draining,
 	}
+	if sp := s.store.spill; sp != nil {
+		st.SpillHits = sp.hits.Load()
+		st.SpillWrites = sp.writes.Load()
+		st.SpillLen = sp.resident.Load()
+	}
+	return st
 }
 
 // jobID derives the canonical identity of a normalized spec: SHA-256 over
-// the versioned canonical JSON encoding. Struct-field order makes the
-// encoding deterministic; Normalize makes it canonical.
+// the versioned canonical JSON encoding (experiment.RunSpec.CanonicalJSON).
 func jobID(spec experiment.RunSpec) string {
-	b, err := json.Marshal(spec)
-	if err != nil {
-		// A RunSpec has no unmarshalable fields; this cannot happen.
-		panic(fmt.Sprintf("serve: marshal spec: %v", err))
-	}
-	sum := sha256.Sum256(append([]byte(keyPrefix), b...))
+	sum := sha256.Sum256(append([]byte(keyPrefix), spec.CanonicalJSON()...))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -190,50 +252,79 @@ type source string
 const (
 	sourceRun   source = "run"   // fresh simulation
 	sourceDedup source = "dedup" // joined an identical in-flight job
-	sourceCache source = "cache" // completed payload from the LRU
+	sourceCache source = "cache" // completed payload from the memory LRU
+	sourceDisk  source = "disk"  // completed payload replayed from the spill tier
 )
 
-// submit resolves a normalized spec to its job: a cached payload, an
-// identical in-flight job, or a freshly queued one. Exactly one of c and
-// j is non-nil on success.
-func (s *Server) submit(spec experiment.RunSpec) (id string, j *Job, c *completedJob, src source, err error) {
-	id = jobID(spec)
+// submit resolves a normalized spec to its job: a cached payload (memory
+// or disk), an identical in-flight job, or a freshly queued one. Exactly
+// one of c and j is non-nil on success.
+func (s *Server) submit(spec experiment.RunSpec) (string, *Job, *completedJob, source, error) {
+	return s.submitWithID(jobID(spec), spec)
+}
+
+// submitWithID is submit for callers that already derived the spec's ID
+// (the sweep planner hashes every point up front for the sweep identity).
+func (s *Server) submitWithID(id string, spec experiment.RunSpec) (_ string, j *Job, c *completedJob, src source, err error) {
 	s.requests.Add(1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.cache.Get(id); ok {
-		s.cacheHits.Add(1)
-		return id, nil, c, sourceCache, nil
+	// Fast path: any tier of the store already has it. Submissions
+	// promote disk hits — a resubmitted spec is likely to repeat.
+	if j, c, src, ok := s.store.find(id, true); ok {
+		s.countHit(src)
+		return id, j, c, src, nil
 	}
-	if j, ok := s.jobs[id]; ok {
+	return s.schedule(id, newJob(id, spec))
+}
+
+// countHit attributes a store hit to its counter.
+func (s *Server) countHit(src source) {
+	switch src {
+	case sourceDedup:
 		s.dedupHits.Add(1)
-		return id, j, nil, sourceDedup, nil
+	case sourceCache:
+		s.cacheHits.Add(1)
 	}
+	// Disk hits are counted by the spill tier itself.
+}
+
+// schedule queues a fresh job under the lifecycle guard, re-checking the
+// owning shard so racing identical submissions still collapse onto one
+// job. Exactly one of the returned j/c is non-nil on success.
+func (s *Server) schedule(id string, fresh *Job) (string, *Job, *completedJob, source, error) {
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
 	if s.draining {
 		return "", nil, nil, "", ErrDraining
 	}
-	j = newJob(id, spec)
+	sh := s.store.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// The window between the caller's probe and this lock: an identical
+	// request may have registered, or even completed, meanwhile.
+	if j, ok := sh.jobs[id]; ok {
+		s.dedupHits.Add(1)
+		return id, j, nil, sourceDedup, nil
+	}
+	if c, ok := sh.cache.Get(id); ok {
+		s.cacheHits.Add(1)
+		return id, nil, c, sourceCache, nil
+	}
 	select {
-	case s.queue <- j:
+	case s.queue <- fresh:
 	default:
 		return "", nil, nil, "", ErrBusy
 	}
-	s.jobs[id] = j
+	sh.jobs[id] = fresh
 	s.jobsWG.Add(1)
-	return id, j, nil, sourceRun, nil
+	return id, fresh, nil, sourceRun, nil
 }
 
-// lookup finds a job by ID, in-flight or completed.
+// lookup finds a job by ID in any store tier, in-flight or completed.
+// Read-only (status/stream) resolution: disk hits are served without
+// promotion so polling cold IDs cannot pollute the memory LRU.
 func (s *Server) lookup(id string) (*Job, *completedJob, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if j, ok := s.jobs[id]; ok {
-		return j, nil, true
-	}
-	if c, ok := s.cache.Get(id); ok {
-		return nil, c, true
-	}
-	return nil, nil, false
+	j, c, _, ok := s.store.find(id, false)
+	return j, c, ok
 }
 
 // worker consumes the job queue until Shutdown closes it.
@@ -247,9 +338,9 @@ func (s *Server) worker() {
 // runJob simulates one job and publishes its payload.
 func (s *Server) runJob(j *Job) {
 	defer s.jobsWG.Done()
-	s.mu.Lock()
+	s.lifecycle.RLock()
 	gate := s.testRunGate
-	s.mu.Unlock()
+	s.lifecycle.RUnlock()
 	if gate != nil {
 		gate(j)
 	}
@@ -270,31 +361,30 @@ func (s *Server) runJob(j *Job) {
 	s.finish(j, mustMarshalLine(buildRunResponse(j.Spec, g, src, results)), nil)
 }
 
-// finish completes j (success or failure), moves its payload from the
-// in-flight map to the completed-result LRU, and wakes streamers.
+// finish completes j (success or failure) and publishes its payload to
+// the store: out of the in-flight table, into the result cache — from
+// which eviction spills to disk.
 func (s *Server) finish(j *Job, resp []byte, err error) {
 	if err != nil {
 		s.failures.Add(1)
 	}
 	final := j.complete(resp, err)
-	c := &completedJob{resp: resp, lines: j.snapshotLines(), final: final, trials: j.Spec.Trials}
+	c := &completedJob{resp: resp, lines: j.snapshotLines(), final: final, trials: j.trials, points: j.points}
 	if err != nil {
 		c.errMsg = err.Error()
 	}
-	s.mu.Lock()
-	delete(s.jobs, j.ID)
-	s.cache.Put(j.ID, c)
-	s.mu.Unlock()
+	s.store.complete(j.ID, c)
 }
 
 // Shutdown stops intake (submissions return ErrDraining → 503) and waits
-// for every accepted job — queued or running — to finish, so no result is
-// dropped. If ctx expires first it returns ctx.Err() with workers still
-// draining; the process is expected to exit shortly after.
+// for every accepted job — queued, running, or an assembling sweep — to
+// finish, so no result is dropped. If ctx expires first it returns
+// ctx.Err() with workers still draining; the process is expected to exit
+// shortly after.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
+	s.lifecycle.Lock()
 	s.draining = true
-	s.mu.Unlock()
+	s.lifecycle.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.jobsWG.Wait()
@@ -305,16 +395,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	// All submitters observe draining before reaching the queue send, so
-	// closing is race-free once intake stopped and jobs drained. Guarded
-	// by its own flag — not draining — so a retry after a timed-out first
-	// Shutdown still closes the queue and releases the workers.
-	s.mu.Lock()
+	// All submitters observe draining before reaching the queue send (both
+	// run under the lifecycle read lock), so closing is race-free once
+	// intake stopped and jobs drained. Guarded by its own flag — not
+	// draining — so a retry after a timed-out first Shutdown still closes
+	// the queue and releases the workers.
+	s.lifecycle.Lock()
 	if !s.queueClosed {
 		s.queueClosed = true
 		close(s.queue)
 	}
-	s.mu.Unlock()
+	s.lifecycle.Unlock()
 	s.workerWG.Wait()
 	return nil
 }

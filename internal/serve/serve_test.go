@@ -18,7 +18,10 @@ import (
 // it so no test leaks workers.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -35,9 +38,9 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 // is closed.
 func setGate(s *Server) (release chan struct{}) {
 	release = make(chan struct{})
-	s.mu.Lock()
+	s.lifecycle.Lock()
 	s.testRunGate = func(*Job) { <-release }
-	s.mu.Unlock()
+	s.lifecycle.Unlock()
 	return release
 }
 
@@ -111,7 +114,9 @@ func TestRunDedup(t *testing.T) {
 // recompute after eviction reproduces them bit-for-bit (engine
 // determinism end to end).
 func TestRunCacheByteIdentical(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1, CacheSize: 1})
+	// One shard so CacheSize 1 is a true global bound and the evictor
+	// below reliably displaces the first entry.
+	_, ts := newTestServer(t, Options{Workers: 1, CacheSize: 1, Shards: 1})
 	code, hdr, fresh := postRun(t, ts, specStarVisitX)
 	if code != http.StatusOK {
 		t.Fatalf("fresh: status %d body %s", code, fresh)
@@ -239,7 +244,10 @@ func TestStreamOrdering(t *testing.T) {
 // draining, wait for in-flight jobs, and deliver their full results to
 // waiting clients.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	release := setGate(s)
@@ -297,13 +305,14 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
-// TestSweepAndJobEndpoint: a sweep submits the cross-product, jobs report
-// status, and identical points dedup against earlier submissions.
+// TestSweepAndJobEndpoint: an async sweep plans the cross-product (202
+// with per-point provenance), the sweep and its point jobs report status,
+// and a resubmitted sweep is served from the store without simulating.
 func TestSweepAndJobEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, Options{Workers: 2})
 	body := `{"defaults":{"graph":"star:8","trials":2,"seed":5},
 	          "graphs":["star:24","cycle:24"],"protocols":["push","push-pull"]}`
-	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/sweep?wait=0", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,18 +321,31 @@ func TestSweepAndJobEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("sweep status %d body %s", resp.StatusCode, b)
 	}
-	var sw struct {
-		Jobs []sweepPoint `json:"jobs"`
+	sweepID := resp.Header.Get("X-Rumord-Job")
+	if sweepID == "" {
+		t.Fatal("no sweep job id header")
 	}
+	var sw sweepStatus
 	if err := json.Unmarshal(b, &sw); err != nil {
 		t.Fatal(err)
 	}
-	if len(sw.Jobs) != 4 {
-		t.Fatalf("sweep returned %d jobs, want 4", len(sw.Jobs))
+	if len(sw.Plan) != 4 {
+		t.Fatalf("sweep planned %d points, want 4", len(sw.Plan))
 	}
-	for _, p := range sw.Jobs {
-		waitUntil(t, "job "+p.Job, func() bool {
-			resp, err := http.Get(ts.URL + "/v1/jobs/" + p.Job)
+	if sw.Points != 4 {
+		t.Fatalf("sweep status points = %d, want 4", sw.Points)
+	}
+	// Every point job and the sweep itself complete and embed results.
+	ids := []string{sweepID}
+	for _, p := range sw.Plan {
+		if p.Source != "run" {
+			t.Fatalf("cold sweep point %s resolved from %q, want run", p.Job, p.Source)
+		}
+		ids = append(ids, p.Job)
+	}
+	for _, id := range ids {
+		waitUntil(t, "job "+id, func() bool {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -339,16 +361,41 @@ func TestSweepAndJobEndpoint(t *testing.T) {
 			return st.Status == "done" && len(st.Result) > 0
 		})
 	}
-	// Resubmitting the same sweep must be all dedup/cache, no new sims.
+	// Resubmitting the same sweep (waited this time) must be served from
+	// the store: no new simulations, no new plan.
 	sims := s.Stats().Simulations
 	resp, err = http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	io.Copy(io.Discard, resp.Body)
+	rb, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmitted sweep status %d body %s", resp.StatusCode, rb)
+	}
+	if src := resp.Header.Get("X-Rumord-Source"); src != "cache" {
+		t.Fatalf("resubmitted sweep source %q, want cache", src)
+	}
 	if got := s.Stats().Simulations; got != sims {
 		t.Fatalf("resubmitted sweep started %d new simulations", got-sims)
+	}
+	var full struct {
+		Sweep  string `json:"sweep"`
+		Points []struct {
+			Job    string          `json:"job"`
+			Result json.RawMessage `json:"result"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(rb, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Sweep != sweepID || len(full.Points) != 4 {
+		t.Fatalf("assembled sweep = %s with %d points, want %s with 4", full.Sweep, len(full.Points), sweepID)
+	}
+	for i, p := range full.Points {
+		if len(p.Result) == 0 {
+			t.Fatalf("point %d has no embedded result", i)
+		}
 	}
 }
 

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spill is the persistent result tier under the completed-result LRU:
+// when the memory cache evicts a successful payload, its canonical bytes
+// are written to a content-addressed file (the job ID — already a
+// SHA-256 of the canonical request — is the file name), and lookups fall
+// through memory → disk before recomputing. Because the stored bytes are
+// the exact response and stream frames a fresh run produced, a disk
+// replay is byte-identical to the original — across LRU churn and across
+// server restarts on the same directory.
+//
+// The tier is best-effort durable: a write failure loses nothing but the
+// shortcut (the engines recompute bit-identical bytes), so errors are
+// counted, not fatal.
+type spill struct {
+	dir      string
+	mu       sync.Mutex   // serializes the stat+rename publish step (accounting only)
+	writes   atomic.Int64 // files persisted (including overwrites)
+	hits     atomic.Int64 // lookups served from disk
+	errors   atomic.Int64 // failed writes/reads (corrupt files count here)
+	resident atomic.Int64 // valid entries on disk (scanned at open, then tracked)
+}
+
+// spillEntry is the on-disk form of a completedJob. []byte fields
+// round-trip through base64 exactly, so a loaded entry replays the
+// original bytes verbatim.
+type spillEntry struct {
+	Trials int      `json:"trials"`
+	Points int      `json:"points,omitempty"`
+	Resp   []byte   `json:"resp"`
+	Lines  [][]byte `json:"lines"`
+	Final  []byte   `json:"final"`
+}
+
+// tmpDebrisAge is how old a leftover .tmp file must be before the
+// startup scan deletes it. Genuine debris (an interrupted write from a
+// crashed process) ages indefinitely and is collected on a later boot;
+// a young .tmp might be an in-flight write of another process sharing
+// the directory, which the scan must not destroy.
+const tmpDebrisAge = 15 * time.Minute
+
+// openSpill prepares the tier rooted at dir: creates the directory,
+// sweeps aged-out temp files from interrupted writes, and counts the
+// resident entries (the startup scan cmd/rumord logs).
+//
+// A data dir belongs to one server process at a time: the resident
+// count (and so SpillLen) tracks only this process's writes, and
+// concurrent replicas should each get their own directory — a shared
+// result tier behind a router is a follow-on (ROADMAP).
+func openSpill(dir string) (*spill, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: spill dir: %w", err)
+	}
+	sp := &spill{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: spill scan: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted write; the rename never happened, so the entry
+			// was never visible. Remove it once it is unambiguously debris.
+			if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > tmpDebrisAge {
+				os.Remove(filepath.Join(dir, name))
+			}
+		case strings.HasSuffix(name, ".json") && isJobID(strings.TrimSuffix(name, ".json")):
+			sp.resident.Add(1)
+		}
+	}
+	return sp, nil
+}
+
+// isJobID reports whether s is a well-formed job ID (lowercase hex
+// SHA-256; the character rule is hexVal, shared with the store's shard
+// selector). Spill file names are derived from IDs, so anything else —
+// including path metacharacters from a hostile GET /v1/jobs/{id} — is
+// rejected before touching the filesystem.
+func isJobID(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if _, ok := hexVal(s[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (sp *spill) path(id string) string { return filepath.Join(sp.dir, id+".json") }
+
+// write persists a completed payload under its content address. The
+// write is atomic (temp file + rename), so readers — concurrent or after
+// a crash — see either the full entry or none. Identical IDs hold
+// identical bytes by construction, so concurrent writers for one ID are
+// idempotent, not conflicting.
+func (sp *spill) write(id string, c *completedJob) {
+	if !isJobID(id) || c.failed() {
+		// Failures are deterministic to recompute; only successful payloads
+		// earn a disk slot.
+		return
+	}
+	b, err := json.Marshal(spillEntry{
+		Trials: c.trials, Points: c.points, Resp: c.resp, Lines: c.lines, Final: c.final,
+	})
+	if err != nil {
+		// completedJob has no unmarshalable fields; this cannot happen.
+		panic(fmt.Sprintf("serve: marshal spill entry: %v", err))
+	}
+	f, err := os.CreateTemp(sp.dir, id+".*.tmp")
+	if err != nil {
+		sp.errors.Add(1)
+		return
+	}
+	tmp := f.Name()
+	_, werr := f.Write(b)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp)
+		sp.errors.Add(1)
+		return
+	}
+	// Publish: the stat+rename pair runs under sp.mu so two concurrent
+	// writers of one ID cannot both count it as fresh. The payload write
+	// above stays unlocked; this critical section is metadata-only.
+	dst := sp.path(id)
+	sp.mu.Lock()
+	_, statErr := os.Stat(dst)
+	err = os.Rename(tmp, dst)
+	if err == nil && statErr != nil {
+		sp.resident.Add(1) // fresh entry, not an overwrite
+	}
+	sp.mu.Unlock()
+	if err != nil {
+		os.Remove(tmp)
+		sp.errors.Add(1)
+		return
+	}
+	sp.writes.Add(1)
+}
+
+// read loads the payload spilled for id, if any. Corrupt entries (a torn
+// disk, a foreign file) are removed and reported as misses — the job
+// recomputes bit-identically.
+func (sp *spill) read(id string) (*completedJob, bool) {
+	if !isJobID(id) {
+		return nil, false
+	}
+	b, err := os.ReadFile(sp.path(id))
+	if err != nil {
+		return nil, false
+	}
+	var e spillEntry
+	if err := json.Unmarshal(b, &e); err != nil || len(e.Final) == 0 {
+		sp.removeCorrupt(id)
+		sp.errors.Add(1)
+		return nil, false
+	}
+	sp.hits.Add(1)
+	return &completedJob{
+		resp: e.Resp, lines: e.Lines, final: e.Final, trials: e.Trials, points: e.Points,
+	}, true
+}
+
+// removeCorrupt deletes id's entry after re-verifying, under sp.mu, that
+// it is still corrupt: a concurrent write may have renamed a fresh valid
+// entry into place after the reader loaded the torn bytes, and writes
+// publish under the same lock, so the re-read is coherent. Corruption is
+// a rare crash-recovery path; paying a second read here is fine.
+func (sp *spill) removeCorrupt(id string) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	b, err := os.ReadFile(sp.path(id))
+	if err != nil {
+		return // already gone
+	}
+	var e spillEntry
+	if err := json.Unmarshal(b, &e); err == nil && len(e.Final) > 0 {
+		return // rewritten and valid; keep it
+	}
+	if os.Remove(sp.path(id)) == nil {
+		sp.resident.Add(-1)
+	}
+}

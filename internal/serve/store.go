@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"sync"
+
+	"rumor/internal/lru"
+)
+
+// store is the sharded job table and result cache. Job IDs are SHA-256
+// hex, so the first byte of the hash is a uniform shard selector: intake,
+// dedup probes, and completion for different IDs land on different locks
+// instead of serializing on one server-wide mutex. Each shard pairs the
+// in-flight job map with its slice of the completed-result LRU, so the
+// "always findable" invariant — an accepted job is in the map until the
+// instant its payload is in the cache — holds per shard under one lock.
+//
+// Below the memory tiers sits the optional disk spill (see spill.go):
+// shard LRUs write capacity-evicted payloads through their eviction hook,
+// and find falls through memory → disk, promoting disk hits back into
+// the owning shard.
+type store struct {
+	shards []storeShard
+	spill  *spill // nil when no data dir is configured
+}
+
+// spillItem is one eviction awaiting its disk write.
+type spillItem struct {
+	id string
+	c  *completedJob
+}
+
+// storeShard is padded out to its own cache line so neighboring shards'
+// locks do not false-share under concurrent intake.
+type storeShard struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	cache *lru.Cache[string, *completedJob]
+	// pending collects capacity evictions raised while mu was held (the
+	// LRU hook fires during Put); the caller that triggered them drains
+	// and writes after releasing mu, so disk I/O never blocks the shard.
+	pending []spillItem
+	_       [64 - (8+8+8+24)%64]byte
+}
+
+// drainPending takes the evictions queued under mu and writes them with
+// the shard unlocked. Safe to call with nothing pending.
+func (st *store) drainPending(sh *storeShard) {
+	sh.mu.Lock()
+	items := sh.pending
+	sh.pending = nil
+	sh.mu.Unlock()
+	for _, it := range items {
+		st.spill.write(it.id, it.c)
+	}
+}
+
+// newStore builds nshards shards whose LRU slices sum to (at least)
+// cacheSize entries. The bound is enforced per shard, so a pathological
+// key skew can retain slightly less than cacheSize globally — the price
+// of not sharing one lock.
+func newStore(nshards, cacheSize int, sp *spill) *store {
+	if nshards < 1 {
+		nshards = 1
+	}
+	per := (cacheSize + nshards - 1) / nshards
+	if per < 1 {
+		per = 1
+	}
+	st := &store{shards: make([]storeShard, nshards), spill: sp}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.jobs = make(map[string]*Job)
+		sh.cache = lru.New[string, *completedJob](per)
+		if sp != nil {
+			// Put runs under sh.mu, so the hook only queues; the Put caller
+			// drains (and does the file I/O) once the shard is unlocked.
+			sh.cache.OnEvict(func(id string, c *completedJob) {
+				sh.pending = append(sh.pending, spillItem{id, c})
+			})
+		}
+	}
+	return st
+}
+
+// shardFor maps an ID to its shard by hash prefix. IDs this server mints
+// are lowercase hex; anything else (a malformed GET /v1/jobs/{id}) maps
+// to shard 0, where it will simply miss.
+func (st *store) shardFor(id string) *storeShard {
+	if len(id) < 2 {
+		return &st.shards[0]
+	}
+	hi, ok1 := hexVal(id[0])
+	lo, ok2 := hexVal(id[1])
+	if !ok1 || !ok2 {
+		return &st.shards[0]
+	}
+	return &st.shards[int(hi<<4|lo)%len(st.shards)]
+}
+
+// hexVal is the single definition of the ID alphabet (lowercase hex),
+// shared by the shard selector and spill.isJobID.
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// find resolves an ID anywhere in the store: the in-flight map, the
+// memory cache, then the disk tier. With promote, a disk hit is also
+// inserted into the owning shard's LRU so repeats are memory-speed (the
+// promotion may evict, which re-spills — an idempotent rewrite of
+// identical bytes). Promotion is for submissions, where reuse is
+// likely; read-only status/stream lookups pass promote=false so a poll
+// sweep over cold IDs cannot evict hot entries or churn spill writes —
+// the trade-off is that each such lookup re-reads and re-decodes the
+// spill file (polling a cold ID is I/O per poll, never cache pollution).
+// The returned source is meaningful only when found.
+func (st *store) find(id string, promote bool) (j *Job, c *completedJob, src source, ok bool) {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	if j, ok := sh.jobs[id]; ok {
+		sh.mu.Unlock()
+		return j, nil, sourceDedup, true
+	}
+	if c, ok := sh.cache.Get(id); ok {
+		sh.mu.Unlock()
+		return nil, c, sourceCache, true
+	}
+	sh.mu.Unlock()
+	if st.spill == nil {
+		return nil, nil, "", false
+	}
+	c, ok = st.spill.read(id)
+	if !ok {
+		return nil, nil, "", false
+	}
+	if !promote {
+		return nil, c, sourceDisk, true
+	}
+	sh.mu.Lock()
+	// Re-check under the lock: the job may have been resubmitted or the
+	// payload re-cached while we read the file. Memory wins — it is the
+	// same bytes or fresher state.
+	if j, live := sh.jobs[id]; live {
+		sh.mu.Unlock()
+		return j, nil, sourceDedup, true
+	}
+	if mc, cached := sh.cache.Get(id); cached {
+		sh.mu.Unlock()
+		return nil, mc, sourceCache, true
+	}
+	sh.cache.Put(id, c)
+	sh.mu.Unlock()
+	st.drainPending(sh) // promotion may have evicted; re-spill is idempotent
+	return nil, c, sourceDisk, true
+}
+
+// complete publishes a finished job's payload: atomically (per shard)
+// moves the ID from the in-flight map to the result cache, then writes
+// any eviction this displaced to disk with the shard unlocked.
+func (st *store) complete(id string, c *completedJob) {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.jobs, id)
+	sh.cache.Put(id, c)
+	sh.mu.Unlock()
+	if st.spill != nil {
+		st.drainPending(sh)
+	}
+}
+
+// jobsLive counts in-flight jobs across shards.
+func (st *store) jobsLive() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += len(sh.jobs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// cacheLen counts resident completed payloads across shards.
+func (st *store) cacheLen() int {
+	n := 0
+	for i := range st.shards {
+		n += st.shards[i].cache.Len()
+	}
+	return n
+}
