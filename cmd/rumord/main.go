@@ -42,7 +42,8 @@ func main() {
 func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8356", "listen address")
+		addr     = fs.String("addr", ":8356", "listen address (use 127.0.0.1:0 with -port-file for an ephemeral port)")
+		portFile = fs.String("port-file", "", "write the bound address here once listening, so supervisors spawning on :0 can learn the port")
 		workers = fs.Int("workers", 0, "concurrent simulations (0 = half the processors)")
 		queue   = fs.Int("queue", 0, "max queued jobs (0 = default 256)")
 		cache   = fs.Int("cache", 0, "completed-result LRU entries (0 = default 512)")
@@ -63,9 +64,20 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 	if *dataDir != "" {
 		log.Printf("rumord: data dir %s: %d spilled results resident", *dataDir, s.SpillLen())
 	}
+	// A listen failure — most commonly the port is already bound by
+	// another process — is an orderly, logged, non-zero exit: supervisors
+	// (cmd/soak) key restart decisions off it.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	if *portFile != "" {
+		// The bound address (with the real port when -addr ended in :0) is
+		// published to a file rather than parsed out of logs.
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write port file: %w", err)
+		}
 	}
 	if ready != nil {
 		ready(ln.Addr())

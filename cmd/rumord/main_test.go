@@ -1,9 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -64,6 +67,84 @@ func TestServeAndDrain(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}, nil, nil); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestListenConflictFailsCleanly: a second daemon on an already-bound
+// address must return an orderly error (main turns it into a logged
+// non-zero exit) — never panic, and never hang.
+func TestListenConflictFailsCleanly(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errCh <- fmt.Errorf("run panicked: %v", r)
+			}
+		}()
+		errCh <- run([]string{"-addr", ln.Addr().String()}, nil, nil)
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("bound-address conflict not reported")
+		}
+		if !strings.Contains(err.Error(), "listen") {
+			t.Fatalf("conflict error does not name the listen step: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("conflicting daemon neither exited nor errored")
+	}
+}
+
+// TestPortFile: with -addr :0 and -port-file, the daemon publishes its
+// real bound address so a supervisor can spawn backends on ephemeral
+// ports.
+func TestPortFile(t *testing.T) {
+	portFile := filepath.Join(t.TempDir(), "rumord.addr")
+	addrCh := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-port-file", portFile},
+			func(a net.Addr) { addrCh <- a }, stop)
+	}()
+	var bound string
+	select {
+	case a := <-addrCh:
+		bound = a.String()
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	written, err := os.ReadFile(portFile)
+	if err != nil {
+		t.Fatalf("port file: %v", err)
+	}
+	if got := strings.TrimSpace(string(written)); got != bound {
+		t.Fatalf("port file has %q, server bound %q", got, bound)
+	}
+	resp, err := http.Get("http://" + bound + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz on published address: %d", resp.StatusCode)
+	}
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain timed out")
 	}
 }
 

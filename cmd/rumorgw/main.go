@@ -1,0 +1,115 @@
+// Command rumorgw is the fault-tolerant gateway in front of N rumord
+// backends (package gateway): consistent-hash routing by job content
+// hash, active health checking with ejection and re-admission, bounded
+// retries with exponential backoff + jitter failing over around the
+// ring, NDJSON stream resume-by-rerun, and load-shedding 503s when all
+// ring nodes for a key are down.
+//
+// Usage:
+//
+//	rumorgw -addr :8360 -backends 127.0.0.1:8356,127.0.0.1:8357,127.0.0.1:8358
+//	curl -s localhost:8360/v1/run -d '{"graph":"star:1024","protocol":"visitx","trials":10,"seed":1}'
+//	curl -s localhost:8360/v1/healthz   # gateway + per-backend health
+//
+// The gateway is stateless apart from health counters and a bounded
+// request-memory LRU; any number of rumorgw processes can front the same
+// backend set and route identically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rumor/internal/gateway"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rumorgw:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the gateway and blocks until a shutdown signal (or stop,
+// the tests' stand-in). ready, when non-nil, receives the bound address.
+func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("rumorgw", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8360", "listen address")
+		backends = fs.String("backends", "", "comma-separated rumord addresses (required)")
+		portFile = fs.String("port-file", "", "write the bound address here once listening (for process supervisors)")
+		replicas = fs.Int("replicas", 0, "virtual ring nodes per backend (0 = default 64)")
+		attempts = fs.Int("attempts", 0, "max attempts per proxied request (0 = default 3)")
+		perTry   = fs.Duration("per-try-timeout", 0, "deadline per buffered proxy attempt (0 = default 15s)")
+		backoff  = fs.Duration("backoff", 0, "base retry backoff, doubled per retry with jitter (0 = default 50ms)")
+		backMax  = fs.Duration("backoff-max", 0, "retry backoff cap (0 = default 2s)")
+		check    = fs.Duration("check-interval", 500*time.Millisecond, "readyz health-check interval")
+		eject    = fs.Int("eject-after", 0, "consecutive failed checks before ejection (0 = default 2)")
+		readmit  = fs.Int("readmit-after", 0, "consecutive passed checks before re-admission (0 = default 2)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if strings.TrimSpace(*backends) == "" {
+		return fmt.Errorf("-backends is required (comma-separated rumord addresses)")
+	}
+	g, err := gateway.New(gateway.Options{
+		Backends:      strings.Split(*backends, ","),
+		Replicas:      *replicas,
+		Attempts:      *attempts,
+		PerTryTimeout: *perTry,
+		BackoffBase:   *backoff,
+		BackoffMax:    *backMax,
+		CheckInterval: *check,
+		EjectAfter:    *eject,
+		ReadmitAfter:  *readmit,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write port file: %w", err)
+		}
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	log.Printf("rumorgw: listening on %s, fronting %s", ln.Addr(), *backends)
+	httpSrv := &http.Server{Handler: g.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		return err
+	case v := <-sig:
+		log.Printf("rumorgw: %v: shutting down", v)
+	case <-stop:
+		log.Printf("rumorgw: stop requested: shutting down")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain http: %w", err)
+	}
+	log.Printf("rumorgw: drained")
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeAndShutdown boots the gateway against one fake backend,
+// proxies a request through it, reads the port file, and stops it.
+func TestServeAndShutdown(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"proxied":true}` + "\n"))
+	}))
+	defer backend.Close()
+	portFile := filepath.Join(t.TempDir(), "gw.addr")
+
+	addrCh := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-backends", strings.TrimPrefix(backend.URL, "http://"),
+			"-port-file", portFile,
+			"-check-interval", "50ms",
+		}, func(a net.Addr) { addrCh <- a }, stop)
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		t.Fatalf("gateway exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not start")
+	}
+
+	written, err := os.ReadFile(portFile)
+	if err != nil {
+		t.Fatalf("port file: %v", err)
+	}
+	if got := strings.TrimSpace(string(written)); "http://"+got != base {
+		t.Fatalf("port file %q, listening on %q", got, base)
+	}
+
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"graph":"star:8","protocol":"push","trials":1,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != `{"proxied":true}`+"\n" {
+		t.Fatalf("proxied response: %d %q", resp.StatusCode, body)
+	}
+
+	hresp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Backends []struct {
+			Healthy bool `json:"healthy"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "ok" || len(health.Backends) != 1 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	close(stop)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown timed out")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{"-bogus"}, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(nil, nil, nil); err == nil || !strings.Contains(err.Error(), "-backends") {
+		t.Fatalf("missing -backends accepted: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakSmoke runs a miniature soak — real gateway and backend
+// processes, real SIGKILL, byte-checked traffic — small enough for the
+// unit-test tier. The CI soak-smoke job runs the full-size version.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and builds binaries; skipped in -short")
+	}
+	cfg := defaultConfig()
+	cfg.backends = 2
+	cfg.clients = 3
+	cfg.kills = 1
+	cfg.duration = 6 * time.Second
+	cfg.down = 300 * time.Millisecond
+	cfg.grace = 15 * time.Second
+	if err := run(cfg); err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+}
+
+// TestWorkloadReferences: every precomputed workload entry carries a
+// non-empty reference with a terminal frame — the oracle the storm
+// verifies against must itself be well-formed.
+func TestWorkloadReferences(t *testing.T) {
+	w, err := buildWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.runs) == 0 || len(w.hot) == 0 || len(w.sweeps) == 0 {
+		t.Fatalf("workload empty: %d runs, %d hot, %d sweeps", len(w.runs), len(w.hot), len(w.sweeps))
+	}
+	for _, rs := range w.runs {
+		if rs.ref.ID == "" || len(rs.ref.Body) == 0 || len(rs.ref.Final) == 0 {
+			t.Fatalf("run reference incomplete: %+v", rs.ref.ID)
+		}
+	}
+	for _, sw := range w.sweeps {
+		if sw.ref.ID == "" || len(sw.ref.Body) == 0 || len(sw.ref.Final) == 0 {
+			t.Fatalf("sweep reference incomplete: %+v", sw.ref.ID)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package gateway is the horizontal half of the serving tier: an HTTP
+// front that routes rumord's content-addressed jobs across N backends.
+//
+// Routing is a consistent-hash ring keyed by the job ID — the SHA-256 of
+// the canonical request that the backends themselves key dedup, caching,
+// and disk spill by (serve.JobID / serve.SweepJobID, recomputed here
+// from the same request bytes). Identical specs from any client land on
+// the same backend, so in-flight singleflight dedup and warm caches keep
+// collapsing duplicates across processes with zero shared state.
+//
+// Failure handling leans entirely on the determinism the engine layers
+// guarantee: a job retried anywhere returns byte-identical bytes, so the
+// gateway is free to retry on connection errors, timeouts, and 5xxs with
+// exponential backoff plus jitter, failing over around the ring, and to
+// resume a dead backend's NDJSON stream by re-running the job elsewhere
+// and skipping the frames already delivered. Backends are ejected by an
+// active /v1/readyz checker (draining backends stop receiving work
+// before their 503s start) and readmitted when probes recover. When every
+// backend is ejected the gateway load-sheds with 503 + Retry-After
+// instead of queueing unbounded work it cannot place.
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rumor/internal/lru"
+)
+
+// Options configures a Gateway. Backends is required; everything else
+// defaults sanely for a LAN of rumord processes.
+type Options struct {
+	// Backends are the rumord addresses ("host:port"; an http:// prefix is
+	// tolerated and stripped). At least one is required.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the ring.
+	// Default 64.
+	Replicas int
+	// Attempts bounds tries per proxied request (first try included).
+	// Default 3.
+	Attempts int
+	// PerTryTimeout bounds each buffered proxy attempt (streams are
+	// exempt — they are long-lived by design). Default 15s.
+	PerTryTimeout time.Duration
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts: attempt k sleeps a jittered duration in
+	// [base·2ᵏ/2, base·2ᵏ], capped at BackoffMax. Defaults 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CheckInterval paces the active health checker; <= 0 disables it
+	// (tests drive health by hand). Default 500ms.
+	CheckInterval time.Duration
+	// ProbeTimeout bounds one readyz probe. Default 2s, clamped to
+	// CheckInterval when that is shorter.
+	ProbeTimeout time.Duration
+	// EjectAfter / ReadmitAfter are the consecutive-failure and
+	// consecutive-success thresholds for ejection and re-admission.
+	// Defaults 2 / 2.
+	EjectAfter   int
+	ReadmitAfter int
+	// SpecMemory bounds the job-ID → original-request LRU that powers
+	// stream resume-by-rerun. Default 4096 entries.
+	SpecMemory int
+	// Client overrides the backend HTTP client (tests). Default: a
+	// dedicated client with a pooled transport.
+	Client *http.Client
+}
+
+func (o Options) replicas() int {
+	if o.Replicas > 0 {
+		return o.Replicas
+	}
+	return 64
+}
+
+func (o Options) attempts() int {
+	if o.Attempts > 0 {
+		return o.Attempts
+	}
+	return 3
+}
+
+func (o Options) perTryTimeout() time.Duration {
+	if o.PerTryTimeout > 0 {
+		return o.PerTryTimeout
+	}
+	return 15 * time.Second
+}
+
+func (o Options) backoffBase() time.Duration {
+	if o.BackoffBase > 0 {
+		return o.BackoffBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (o Options) backoffMax() time.Duration {
+	if o.BackoffMax > 0 {
+		return o.BackoffMax
+	}
+	return 2 * time.Second
+}
+
+func (o Options) checkInterval() time.Duration { return o.CheckInterval }
+
+func (o Options) probeTimeout() time.Duration {
+	pt := o.ProbeTimeout
+	if pt <= 0 {
+		pt = 2 * time.Second
+	}
+	if ci := o.CheckInterval; ci > 0 && ci < pt {
+		pt = ci
+	}
+	return pt
+}
+
+func (o Options) ejectAfter() int {
+	if o.EjectAfter > 0 {
+		return o.EjectAfter
+	}
+	return 2
+}
+
+func (o Options) readmitAfter() int {
+	if o.ReadmitAfter > 0 {
+		return o.ReadmitAfter
+	}
+	return 2
+}
+
+func (o Options) specMemory() int {
+	if o.SpecMemory > 0 {
+		return o.SpecMemory
+	}
+	return 4096
+}
+
+// rerunSpec is what the gateway remembers about a request it routed: the
+// endpoint and the original body, enough to re-create the job on another
+// backend if the one streaming it dies mid-stream.
+type rerunSpec struct {
+	path string // "/v1/run" or "/v1/sweep"
+	body []byte
+}
+
+// Gateway fronts the ring. Create with New, expose with Handler, stop
+// with Close.
+type Gateway struct {
+	opts     Options
+	ring     *ring
+	backends []*backend
+	client   *http.Client
+
+	specsMu sync.Mutex
+	specs   *lru.Cache[string, rerunSpec]
+
+	requests      atomic.Int64 // proxied requests accepted for routing
+	retries       atomic.Int64 // extra attempts after a failed one
+	failovers     atomic.Int64 // retries that moved to a different backend
+	shed          atomic.Int64 // 503s for keys with no healthy backend
+	exhausted     atomic.Int64 // 502s after all attempts failed
+	streamResumes atomic.Int64 // streams continued after a mid-stream failure
+	streamReruns  atomic.Int64 // resumes that had to re-create the job first
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	checkerWG sync.WaitGroup
+}
+
+// New builds a Gateway over opts.Backends and starts its health checker
+// (unless CheckInterval <= 0).
+func New(opts Options) (*Gateway, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: at least one backend is required")
+	}
+	addrs := make([]string, 0, len(opts.Backends))
+	seen := make(map[string]bool)
+	for _, a := range opts.Backends {
+		a = strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(a), "http://"), "/")
+		if a == "" {
+			return nil, fmt.Errorf("gateway: empty backend address")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("gateway: duplicate backend %s", a)
+		}
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	g := &Gateway{
+		opts:   opts,
+		ring:   newRing(addrs, opts.replicas()),
+		client: client,
+		specs:  lru.New[string, rerunSpec](opts.specMemory()),
+		stop:   make(chan struct{}),
+	}
+	for _, a := range addrs {
+		g.backends = append(g.backends, newBackend(a))
+	}
+	if opts.checkInterval() > 0 {
+		g.checkerWG.Add(1)
+		go g.checkLoop()
+	}
+	return g, nil
+}
+
+// Close stops the health checker. In-flight proxied requests are not
+// interrupted; the HTTP server owning the handler decides their fate.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() { close(g.stop) })
+	g.checkerWG.Wait()
+}
+
+// Handler returns the gateway's HTTP API — the same surface as a
+// backend, plus the gateway's own health report:
+//
+//	POST /v1/run              routed by job ID; retried/failed-over
+//	POST /v1/sweep            routed by sweep job ID
+//	GET  /v1/jobs/{id}        routed by ID; 404s fan out around the ring
+//	GET  /v1/jobs/{id}/stream proxied NDJSON; resumes by rerun on failure
+//	GET  /v1/healthz          gateway + per-backend health and counters
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", g.handleRun)
+	mux.HandleFunc("POST /v1/sweep", g.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", g.handleStream)
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	return mux
+}
+
+// candidates returns the healthy backends for key in failover order.
+// down reports how many ring nodes were skipped as unhealthy.
+func (g *Gateway) candidates(key string) (cands []*backend, down int) {
+	for _, node := range g.ring.sequence(key) {
+		b := g.backends[node]
+		if b.healthy.Load() {
+			cands = append(cands, b)
+		} else {
+			down++
+		}
+	}
+	return cands, down
+}
+
+// remember stores the original request for id so a dying stream can be
+// resumed by re-running the job on another backend.
+func (g *Gateway) remember(id, path string, body []byte) {
+	g.specsMu.Lock()
+	g.specs.Put(id, rerunSpec{path: path, body: body})
+	g.specsMu.Unlock()
+}
+
+// recall fetches the remembered request for id.
+func (g *Gateway) recall(id string) (rerunSpec, bool) {
+	g.specsMu.Lock()
+	defer g.specsMu.Unlock()
+	return g.specs.Get(id)
+}
+
+// BackendHealth is one backend's entry in the gateway health report.
+type BackendHealth struct {
+	Addr                string `json:"addr"`
+	Healthy             bool   `json:"healthy"`
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	Ejections           int64  `json:"ejections"`
+	Checks              int64  `json:"checks"`
+}
+
+// Stats is the gateway's counter snapshot, exposed on /v1/healthz and
+// read by cmd/soak for its exit summary.
+type Stats struct {
+	Requests      int64 `json:"requests"`
+	Retries       int64 `json:"retries"`
+	Failovers     int64 `json:"failovers"`
+	Shed          int64 `json:"shed"`
+	Exhausted     int64 `json:"exhausted"`
+	StreamResumes int64 `json:"streamResumes"`
+	StreamReruns  int64 `json:"streamReruns"`
+}
+
+// Snapshot returns the current counters.
+func (g *Gateway) Snapshot() Stats {
+	return Stats{
+		Requests:      g.requests.Load(),
+		Retries:       g.retries.Load(),
+		Failovers:     g.failovers.Load(),
+		Shed:          g.shed.Load(),
+		Exhausted:     g.exhausted.Load(),
+		StreamResumes: g.streamResumes.Load(),
+		StreamReruns:  g.streamReruns.Load(),
+	}
+}
+
+// Backends returns the per-backend health report.
+func (g *Gateway) Backends() []BackendHealth {
+	out := make([]BackendHealth, 0, len(g.backends))
+	for _, b := range g.backends {
+		out = append(out, BackendHealth{
+			Addr:                b.addr,
+			Healthy:             b.healthy.Load(),
+			ConsecutiveFailures: int(b.consecFail.Load()),
+			Ejections:           b.ejections.Load(),
+			Checks:              b.checks.Load(),
+		})
+	}
+	return out
+}
+
+// healthzBody is the GET /v1/healthz response.
+type healthzBody struct {
+	Status   string          `json:"status"`
+	Stats    Stats           `json:"stats"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzBody{
+		Status:   "ok",
+		Stats:    g.Snapshot(),
+		Backends: g.Backends(),
+	})
+}

@@ -1,0 +1,113 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// backend is one rumord instance behind the gateway: its address plus
+// health state fed by both the active checker (GET /v1/readyz on a
+// schedule) and passive signals from proxying (connection errors and
+// 5xxs count as failures, successes as successes). Ejection needs
+// EjectAfter consecutive failures, re-admission ReadmitAfter consecutive
+// successes, so a single flaky probe neither ejects a healthy backend
+// nor readmits a crash-looping one.
+type backend struct {
+	addr string // host:port
+	url  string // http://host:port, no trailing slash
+
+	healthy    atomic.Bool
+	consecFail atomic.Int32
+	consecOK   atomic.Int32
+	ejections  atomic.Int64
+	checks     atomic.Int64
+}
+
+func newBackend(addr string) *backend {
+	b := &backend{addr: addr, url: "http://" + addr}
+	// Born healthy: the first requests race the first probe, and retry
+	// machinery handles a dead backend better than an empty ring.
+	b.healthy.Store(true)
+	return b
+}
+
+// noteFailure records one failed probe or proxy attempt; the backend is
+// ejected once ejectAfter consecutive failures accumulate.
+func (b *backend) noteFailure(ejectAfter int) {
+	b.consecOK.Store(0)
+	if int(b.consecFail.Add(1)) >= ejectAfter && b.healthy.CompareAndSwap(true, false) {
+		b.ejections.Add(1)
+	}
+}
+
+// noteSuccess records one successful probe or proxied request; an
+// ejected backend is readmitted once readmitAfter consecutive successes
+// accumulate.
+func (b *backend) noteSuccess(readmitAfter int) {
+	b.consecFail.Store(0)
+	if b.healthy.Load() {
+		b.consecOK.Store(0)
+		return
+	}
+	if int(b.consecOK.Add(1)) >= readmitAfter {
+		b.healthy.CompareAndSwap(false, true)
+	}
+}
+
+// checkLoop probes every backend each interval until stop closes. The
+// first sweep runs immediately so a gateway that boots against a dead
+// backend ejects it without waiting a full interval.
+func (g *Gateway) checkLoop() {
+	defer g.checkerWG.Done()
+	g.checkAll()
+	t := time.NewTicker(g.opts.checkInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.checkAll()
+		}
+	}
+}
+
+// checkAll probes all backends concurrently: readiness, not liveness —
+// a draining backend answers /v1/readyz with 503 and is ejected before
+// its submission 503s reach clients.
+func (g *Gateway) checkAll() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probe(b *backend) {
+	b.checks.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), g.opts.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", b.url+"/v1/readyz", nil)
+	if err != nil {
+		b.noteFailure(g.opts.ejectAfter())
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.noteFailure(g.opts.ejectAfter())
+		return
+	}
+	drainBody(resp)
+	if resp.StatusCode == http.StatusOK {
+		b.noteSuccess(g.opts.readmitAfter())
+	} else {
+		b.noteFailure(g.opts.ejectAfter())
+	}
+}

@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend owns
+// `replicas` virtual points placed by hashing "addr#i"; a key is owned by
+// the first point clockwise from its own hash. Keys here are rumord job
+// IDs — already content hashes of the canonical request — so identical
+// specs from any client always map to the same backend, which is what
+// makes cross-backend singleflight dedup and result caching work without
+// any shared state between backends.
+//
+// The ring is immutable after construction. Backend failure does not
+// rewrite it: unhealthy nodes are skipped at selection time (see
+// Gateway.candidates), so a backend that comes back owns exactly the
+// keys it owned before — no rehash storms, and a restarted backend's
+// still-warm disk spill keeps lining up with its keyspace.
+type ring struct {
+	hashes []uint64 // sorted virtual point positions
+	owner  []int    // owner[i] = backend index of hashes[i]
+	nodes  int
+}
+
+// newRing places replicas virtual points per backend. Names must be
+// distinct; collisions of full SHA-256-derived points are not handled
+// beyond last-writer-wins on a duplicate position (astronomically
+// unlikely, and harmless: one vnode shifts).
+func newRing(names []string, replicas int) *ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &ring{
+		hashes: make([]uint64, 0, len(names)*replicas),
+		owner:  make([]int, 0, len(names)*replicas),
+		nodes:  len(names),
+	}
+	type point struct {
+		h    uint64
+		node int
+	}
+	points := make([]point, 0, len(names)*replicas)
+	for node, name := range names {
+		for i := 0; i < replicas; i++ {
+			points = append(points, point{hash64(fmt.Sprintf("%s#%d", name, i)), node})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].h < points[j].h })
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.h)
+		r.owner = append(r.owner, p.node)
+	}
+	return r
+}
+
+// sequence returns every backend index in ring order starting from key's
+// owner: the failover order for this key. The first entry is the primary;
+// retries walk the rest, so a key's traffic concentrates on as few
+// backends as possible even under failures.
+func (r *ring) sequence(key string) []int {
+	seq := make([]int, 0, r.nodes)
+	if len(r.hashes) == 0 {
+		return seq
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	seen := make([]bool, r.nodes)
+	for i := 0; len(seq) < r.nodes; i++ {
+		node := r.owner[(start+i)%len(r.hashes)]
+		if !seen[node] {
+			seen[node] = true
+			seq = append(seq, node)
+		}
+	}
+	return seq
+}
+
+// hash64 positions a string on the ring: the first 8 bytes of its
+// SHA-256. Job IDs are themselves SHA-256 hex, so this is hashing a
+// hash — uniform by construction.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingSequenceCoversAllNodes: every key's failover sequence visits
+// every backend exactly once, starting from its owner, and the
+// assignment is deterministic.
+func TestRingSequenceCoversAllNodes(t *testing.T) {
+	names := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := newRing(names, 64)
+	owned := make([]int, len(names))
+	for k := 0; k < 512; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		seq := r.sequence(key)
+		if len(seq) != len(names) {
+			t.Fatalf("sequence(%q) has %d entries, want %d", key, len(seq), len(names))
+		}
+		seen := make(map[int]bool)
+		for _, n := range seq {
+			if n < 0 || n >= len(names) || seen[n] {
+				t.Fatalf("sequence(%q) = %v: out of range or duplicate", key, seq)
+			}
+			seen[n] = true
+		}
+		again := r.sequence(key)
+		for i := range seq {
+			if again[i] != seq[i] {
+				t.Fatalf("sequence(%q) not deterministic: %v vs %v", key, seq, again)
+			}
+		}
+		owned[seq[0]]++
+	}
+	for i, n := range owned {
+		if n == 0 {
+			t.Fatalf("backend %s owns no keys out of 512 (distribution broken): %v", names[i], owned)
+		}
+	}
+}
+
+// TestRingConsistency: removing one backend only moves the keys it
+// owned; every key owned by a surviving backend keeps its owner. This is
+// the property that makes the ring "consistent" — a backend set change
+// does not reshuffle the warm caches of the survivors.
+func TestRingConsistency(t *testing.T) {
+	full := []string{"a:1", "b:2", "c:3", "d:4", "e:5"}
+	rFull := newRing(full, 64)
+	rLess := newRing(full[:4], 64) // "e:5" removed
+	moved := 0
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("job-%d", k)
+		ownerFull := rFull.sequence(key)[0]
+		ownerLess := rLess.sequence(key)[0]
+		if ownerFull == 4 { // owned by the removed node: must move somewhere
+			moved++
+			continue
+		}
+		if ownerLess != ownerFull {
+			t.Fatalf("key %q moved from %s to %s though its owner survived",
+				key, full[ownerFull], full[ownerLess])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed backend owned zero of 2000 keys; ring distribution broken")
+	}
+	if moved > 2000*2/len(full) {
+		t.Fatalf("removed backend owned %d of 2000 keys; expected about 1/%d", moved, len(full))
+	}
+}
+
+// TestRingSingleNode: a one-backend ring owns everything.
+func TestRingSingleNode(t *testing.T) {
+	r := newRing([]string{"only:1"}, 8)
+	for k := 0; k < 32; k++ {
+		seq := r.sequence(fmt.Sprintf("k%d", k))
+		if len(seq) != 1 || seq[0] != 0 {
+			t.Fatalf("sequence = %v", seq)
+		}
+	}
+}

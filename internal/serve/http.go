@@ -20,7 +20,8 @@ const maxBodyBytes = 1 << 20
 //	                          ?wait=0 for async (202 + per-point provenance)
 //	GET  /v1/jobs/{id}        job or sweep status; embeds the result when done
 //	GET  /v1/jobs/{id}/stream NDJSON results, replay + follow
-//	GET  /v1/healthz          liveness + counters
+//	GET  /v1/healthz          liveness + counters (200 while the process serves)
+//	GET  /v1/readyz           readiness: 200 with queue headroom, 503 once draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -28,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -333,10 +335,48 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz serves GET /v1/healthz.
+// handleHealthz serves GET /v1/healthz: liveness. It answers 200 for as
+// long as the process can serve HTTP at all — including while draining,
+// when the server still delivers results for accepted jobs. Routers that
+// must stop sending new work before the 503s start should watch
+// /v1/readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 		Stats  Stats  `json:"stats"`
 	}{"ok", s.Stats()})
+}
+
+// readyStatus is the body of GET /v1/readyz.
+type readyStatus struct {
+	Status   string `json:"status"` // "ready" or "draining"
+	Draining bool   `json:"draining"`
+	// Queue headroom: how many more jobs intake can accept before /v1/run
+	// starts answering 429. A gateway can use a shrinking headroom as a
+	// backpressure signal before the hard limit hits.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	QueueHeadroom int `json:"queueHeadroom"`
+}
+
+// handleReadyz serves GET /v1/readyz: readiness, split from liveness so
+// a draining backend is ejected by routers *before* its submissions 503.
+// A ready server answers 200 with its queue headroom; a draining one
+// answers 503 (with the same shape) while /v1/healthz keeps returning
+// 200 for the benefit of liveness supervisors.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.QueueDepth()
+	body := readyStatus{
+		Status:        "ready",
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+		QueueHeadroom: capacity - depth,
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		body.Status = "draining"
+		body.Draining = true
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }

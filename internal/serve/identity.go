@@ -1,0 +1,25 @@
+package serve
+
+import "rumor/internal/experiment"
+
+// JobID returns the canonical identity of a spec — the SHA-256 hex the
+// service keys jobs, dedup, caching, and spill files by. The spec must
+// already be normalized (experiment.RunSpec.Normalize); hashing an
+// un-normalized spec yields a valid but non-canonical identity that will
+// not collide with the service's.
+//
+// It is exported for the gateway tier: a router that derives the same ID
+// from the same request bytes can consistent-hash identical specs onto
+// the same backend, so cross-client dedup keeps working across processes.
+func JobID(spec experiment.RunSpec) string { return jobID(spec) }
+
+// SweepJobID returns the identity of a sweep over the given expanded
+// points (experiment.Sweep.Expand's output, whose order is part of the
+// identity) — the ID the service mints for the sweep job itself.
+func SweepJobID(points []experiment.SweepPoint) string {
+	ids := make([]string, len(points))
+	for i := range points {
+		ids[i] = jobID(points[i].Spec)
+	}
+	return sweepID(ids)
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rumor/internal/experiment"
+)
+
+// TestReferenceMatchesLiveRun: ComputeReference must reproduce a live
+// server's /v1/run body, stream frames, and terminal frame byte for
+// byte — the oracle the soak harness checks every proxied response
+// against.
+func TestReferenceMatchesLiveRun(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	status, hdr, body := postRun(t, ts, specStarVisitX)
+	if status != http.StatusOK {
+		t.Fatalf("run status %d: %s", status, body)
+	}
+
+	spec := experiment.DefaultRunSpec()
+	if err := json.NewDecoder(strings.NewReader(specStarVisitX)).Decode(&spec); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ComputeReference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hdr.Get("X-Rumord-Job"); got != ref.ID {
+		t.Fatalf("job ID %s, reference %s", got, ref.ID)
+	}
+	if !bytes.Equal(body, ref.Body) {
+		t.Fatalf("live body differs from reference:\nlive: %s\nref:  %s", body, ref.Body)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ref.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	streamed, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Join(append(append([][]byte{}, ref.Lines...), ref.Final), nil)
+	if !bytes.Equal(streamed, want) {
+		t.Fatalf("live stream differs from reference:\nlive: %s\nref:  %s", streamed, want)
+	}
+}
+
+// TestSweepReferenceMatchesLiveSweep: same oracle property for sweeps —
+// the assembled body and the header/trial/terminal frame stream.
+func TestSweepReferenceMatchesLiveSweep(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := `{"defaults":{"trials":3,"seed":5},"graphs":["star:32","cycle:24"],"protocols":["push","visitx"]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+
+	sw := experiment.Sweep{Defaults: experiment.DefaultRunSpec()}
+	if err := json.NewDecoder(strings.NewReader(req)).Decode(&sw); err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ComputeSweepReference(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Rumord-Job"); got != ref.ID {
+		t.Fatalf("sweep job ID %s, reference %s", got, ref.ID)
+	}
+	if !bytes.Equal(body, ref.Body) {
+		t.Fatal("live sweep body differs from reference")
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + ref.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	streamed, err := io.ReadAll(sresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Join(append(append([][]byte{}, ref.Lines...), ref.Final), nil)
+	if !bytes.Equal(streamed, want) {
+		t.Fatal("live sweep stream differs from reference")
+	}
+}
+
+// TestReferenceRejectsBadSpec: a spec that cannot normalize or simulate
+// is an error, not a Reference.
+func TestReferenceRejectsBadSpec(t *testing.T) {
+	if _, err := ComputeReference(experiment.RunSpec{Graph: "nonsense:1"}); err == nil {
+		t.Fatal("bad graph accepted")
+	}
+	if _, err := ComputeSweepReference(nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+// TestReadyzSplit: /v1/readyz reports ready (with queue headroom) on a
+// live server and flips to 503/draining once shutdown begins, while
+// /v1/healthz keeps answering 200 — the split that lets a gateway eject
+// a draining backend before its submissions 503.
+func TestReadyzSplit(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	get := func(path string) (int, readyStatus) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", path, nil)
+		h.ServeHTTP(rec, req)
+		var body readyStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("decode %s: %v: %s", path, err, rec.Body.Bytes())
+		}
+		return rec.Code, body
+	}
+	status, body := get("/v1/readyz")
+	if status != http.StatusOK || body.Status != "ready" || body.Draining {
+		t.Fatalf("fresh readyz: %d %+v", status, body)
+	}
+	if body.QueueCapacity != 7 || body.QueueHeadroom != 7-body.QueueDepth {
+		t.Fatalf("queue headroom accounting: %+v", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	status, body = get("/v1/readyz")
+	if status != http.StatusServiceUnavailable || body.Status != "draining" || !body.Draining {
+		t.Fatalf("draining readyz: %d %+v", status, body)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d (liveness must stay 200)", rec.Code)
+	}
+}

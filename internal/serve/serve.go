@@ -214,6 +214,20 @@ func (s *Server) SpillLen() int64 {
 	return s.store.spill.resident.Load()
 }
 
+// Draining reports whether Shutdown has stopped intake: submissions are
+// rejected while accepted jobs still finish and deliver their results.
+func (s *Server) Draining() bool {
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
+	return s.draining
+}
+
+// QueueDepth reports the accepted-but-not-started job count and the
+// queue capacity — the headroom /v1/readyz exposes to routers.
+func (s *Server) QueueDepth() (depth, capacity int) {
+	return len(s.queue), cap(s.queue)
+}
+
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	s.lifecycle.RLock()
