@@ -1,0 +1,294 @@
+// Giant-graph mode: the out-of-core acceptance harness. For each
+// requested size it builds a star through the streaming two-pass path,
+// samples the build's peak heap against the final CSR footprint (the
+// streaming builder's contract is peak <= ~1.1x the resident graph),
+// spills the graph through the content-addressed disk store, reopens it
+// mmap-backed, and replays a fixed-seed push sweep on both copies — the
+// two result sets must be identical. Violations exit nonzero, so CI can
+// run this under GOMEMLIMIT as the giant-graph smoke gate.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rumor"
+	"rumor/internal/graph"
+)
+
+// giantPoint is one size's measurements in the -giant report.
+type giantPoint struct {
+	N                 int     `json:"n"`
+	Edges             int64   `json:"edges"`
+	CSRBytes          int64   `json:"csr_bytes"`
+	OffsetWidth       int     `json:"offset_width_bytes"`
+	BytesPerEdge      float64 `json:"bytes_per_edge"`
+	BuildSeconds      float64 `json:"build_seconds"`
+	BuildPeakBytes    int64   `json:"build_peak_heap_bytes"`
+	BuildPeakRatio    float64 `json:"build_peak_ratio"` // peak heap growth / csr_bytes
+	SpillSeconds      float64 `json:"spill_seconds"`    // encode + reopen
+	MmapBacked        bool    `json:"mmap_backed"`
+	SweepSecondsHeap  float64 `json:"sweep_seconds_heap"`
+	SweepSecondsMmap  float64 `json:"sweep_seconds_mmap"`
+	SweepIdentical    bool    `json:"sweep_identical"`
+	VmHWMBytesSoFar   int64   `json:"vm_hwm_bytes_so_far,omitempty"`
+}
+
+// shardScaling records a fixed batched sweep timed at GOMAXPROCS 1 and
+// NumCPU, with the BENCH_PR4 MultiTrialPushStarBatched measurement (when
+// the file is present) as the cross-PR reference for the same workload
+// shape.
+type shardScaling struct {
+	Workload        string  `json:"workload"`
+	SecondsProcs1   float64 `json:"seconds_gomaxprocs_1"`
+	SecondsProcsN   float64 `json:"seconds_gomaxprocs_numcpu"`
+	NumCPU          int     `json:"num_cpu"`
+	Scaling         float64 `json:"scaling"` // procs1 / procsN
+	PR4BaselineNsOp float64 `json:"bench_pr4_push_star_batched_ns_per_op,omitempty"`
+}
+
+type giantReport struct {
+	Timestamp    string        `json:"timestamp"`
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	NumCPU       int           `json:"num_cpu"`
+	GOMEMLIMIT   string        `json:"gomemlimit,omitempty"`
+	Giant        []giantPoint  `json:"giant"`
+	ShardScaling *shardScaling `json:"shard_scaling,omitempty"`
+}
+
+// buildPeakRatioMax is the acceptance bound on streaming-build peak heap
+// growth relative to the final CSR: the two-pass builder allocates the
+// CSR arrays and O(1) scratch, nothing else.
+const buildPeakRatioMax = 1.1
+
+// sampleHeapPeak polls HeapAlloc until stop closes and reports the
+// maximum observed. 10ms resolution is ample: the build's heap profile is
+// two long plateaus (offsets, then offsets+neighbors), not spikes.
+func sampleHeapPeak(stop <-chan struct{}, peak *uint64) {
+	var ms runtime.MemStats
+	for {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > *peak {
+			*peak = ms.HeapAlloc
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// vmHWMBytes reads the process peak RSS from /proc/self/status (0 where
+// unavailable, e.g. non-Linux).
+func vmHWMBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			kb, err := strconv.ParseInt(fields[1], 10, 64)
+			if err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
+// giantPushSweep runs the fixed-seed truncated push sweep used for the
+// heap-vs-mmap identity check. Push keeps per-lane state O(informed), so
+// the sweep's own footprint stays tiny next to the graph.
+func giantPushSweep(g *rumor.Graph) ([]rumor.Result, error) {
+	factory := func(rngs []*rumor.RNG) (rumor.LaneProcess, error) {
+		return rumor.NewBatchedPush(g, 0, rngs, rumor.PushOptions{})
+	}
+	// Push on a star needs Theta(n log n) rounds; 3 rounds of 2 trials
+	// exercise the full draw/commit machinery and truncate deterministically.
+	return rumor.RunManyBatched(g, factory, 2, 3, 12345)
+}
+
+// runGiantPoint measures one star size end to end.
+func runGiantPoint(leaves int, dir string) (giantPoint, error) {
+	var pt giantPoint
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapAlloc
+
+	peak := baseline
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { sampleHeapPeak(stop, &peak); close(done) }()
+
+	t0 := time.Now()
+	g := graph.Star(leaves)
+	pt.BuildSeconds = time.Since(t0).Seconds()
+	close(stop)
+	<-done
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+
+	pt.N = g.N()
+	pt.Edges = int64(g.M())
+	pt.CSRBytes = g.CSRBytes()
+	pt.OffsetWidth = g.OffsetWidth()
+	if pt.Edges > 0 {
+		pt.BytesPerEdge = float64(pt.CSRBytes) / float64(pt.Edges)
+	}
+	pt.BuildPeakBytes = int64(peak - baseline)
+	pt.BuildPeakRatio = float64(pt.BuildPeakBytes) / float64(pt.CSRBytes)
+	if pt.BuildPeakRatio > buildPeakRatioMax {
+		return pt, fmt.Errorf("star n=%d: build peak heap %.0f MiB is %.3fx the %.0f MiB CSR (bound %.2fx): streaming path regressed",
+			pt.N, float64(pt.BuildPeakBytes)/(1<<20), pt.BuildPeakRatio, float64(pt.CSRBytes)/(1<<20), buildPeakRatioMax)
+	}
+
+	t0 = time.Now()
+	heapResults, err := giantPushSweep(g)
+	pt.SweepSecondsHeap = time.Since(t0).Seconds()
+	if err != nil {
+		return pt, fmt.Errorf("star n=%d: heap sweep: %w", pt.N, err)
+	}
+
+	// Spill with a 1-byte threshold so every size takes the disk path,
+	// then reopen mmap-backed and drop the heap copy before the replay.
+	store, err := graph.NewStore(dir, 1)
+	if err != nil {
+		return pt, err
+	}
+	key := fmt.Sprintf("giant-star:%d", leaves)
+	t0 = time.Now()
+	gm, err := store.GetOrBuild(key, func() (*graph.Graph, error) { return g, nil })
+	pt.SpillSeconds = time.Since(t0).Seconds()
+	if err != nil {
+		return pt, fmt.Errorf("star n=%d: spill: %w", pt.N, err)
+	}
+	pt.MmapBacked = gm.MmapBacked()
+	if !pt.MmapBacked {
+		return pt, fmt.Errorf("star n=%d: reopened graph is not mmap-backed", pt.N)
+	}
+	g = nil
+	runtime.GC() // release the heap CSR before sweeping the mapped copy
+
+	t0 = time.Now()
+	mmapResults, err := giantPushSweep(gm)
+	pt.SweepSecondsMmap = time.Since(t0).Seconds()
+	if err != nil {
+		return pt, fmt.Errorf("star n=%d: mmap sweep: %w", pt.N, err)
+	}
+	pt.SweepIdentical = reflect.DeepEqual(heapResults, mmapResults)
+	if !pt.SweepIdentical {
+		return pt, fmt.Errorf("star n=%d: mmap-backed sweep diverges from the in-memory sweep", pt.N)
+	}
+	pt.VmHWMBytesSoFar = vmHWMBytes()
+	return pt, nil
+}
+
+// measureShardScaling times a fixed batched push sweep at GOMAXPROCS 1
+// and NumCPU. On a single-core host the two coincide; the entry still
+// records the reference point the next multi-core run compares against.
+func measureShardScaling() *shardScaling {
+	sweep := func() {
+		g := rumor.Star(4096)
+		factory := func(rngs []*rumor.RNG) (rumor.LaneProcess, error) {
+			return rumor.NewBatchedPush(g, 0, rngs, rumor.PushOptions{})
+		}
+		if _, err := rumor.RunManyBatched(g, factory, 16, 0, 99); err != nil {
+			panic(err)
+		}
+	}
+	timed := func(procs int) float64 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		sweep() // warm the graph cache and allocator
+		t0 := time.Now()
+		sweep()
+		return time.Since(t0).Seconds()
+	}
+	s := &shardScaling{
+		Workload:      "RunManyBatched push star:4096 x16 trials",
+		NumCPU:        runtime.NumCPU(),
+		SecondsProcs1: timed(1),
+		SecondsProcsN: timed(runtime.NumCPU()),
+	}
+	if s.SecondsProcsN > 0 {
+		s.Scaling = s.SecondsProcs1 / s.SecondsProcsN
+	}
+	s.PR4BaselineNsOp = benchPR4Baseline("MultiTrialPushStarBatched")
+	return s
+}
+
+// runGiant executes the giant-graph harness for the given sizes and
+// writes the report. Any acceptance violation is returned after the
+// report is written, so the JSON still records the failing measurement.
+func runGiant(sizes []int, dir, out string) error {
+	rep := giantReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOMEMLIMIT: os.Getenv("GOMEMLIMIT"),
+	}
+	var firstErr error
+	for _, n := range sizes {
+		pt, err := runGiantPoint(n, dir)
+		rep.Giant = append(rep.Giant, pt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "giant: %v\n", err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		fmt.Printf("star n=%-11d csr %8.1f MiB  width %d  build %6.2fs (peak %.3fx)  spill %6.2fs  mmap sweep ok\n",
+			pt.N, float64(pt.CSRBytes)/(1<<20), pt.OffsetWidth, pt.BuildSeconds, pt.BuildPeakRatio, pt.SpillSeconds)
+	}
+	if firstErr == nil {
+		rep.ShardScaling = measureShardScaling()
+		fmt.Printf("shard scaling: %.3fs @1 proc, %.3fs @%d procs (%.2fx)\n",
+			rep.ShardScaling.SecondsProcs1, rep.ShardScaling.SecondsProcsN, rep.ShardScaling.NumCPU, rep.ShardScaling.Scaling)
+	}
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return firstErr
+}
+
+// parseGiantSizes parses the -giant-sizes comma list.
+func parseGiantSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -giant-sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-giant-sizes is empty")
+	}
+	return sizes, nil
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_PR4.json] [-benchtime 2s] [-smoke]
+//	go run ./cmd/bench -giant [-giant-sizes 1000000,...] [-out BENCH_PR7.json]
 //
 // Before timing anything, bench cross-checks the engines: for every one of
 // the five protocols it runs the same multi-trial sweep through the serial
@@ -231,10 +232,41 @@ func benchMultiTrialBatched(c multiTrialCase) func(b *testing.B) {
 	}
 }
 
+// writeJSON marshals v indented and writes it to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchPR4Baseline reads one benchmark's ns/op out of BENCH_PR4.json when
+// the file is present (0 otherwise).
+func benchPR4Baseline(name string) float64 {
+	data, err := os.ReadFile("BENCH_PR4.json")
+	if err != nil {
+		return 0
+	}
+	var rep report
+	if json.Unmarshal(data, &rep) != nil {
+		return 0
+	}
+	for _, e := range rep.Benchmarks {
+		if e.Name == name {
+			return e.NsPerOp
+		}
+	}
+	return 0
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "", "output JSON path (default BENCH_PR4.json, or BENCH_PR7.json with -giant)")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "per-benchmark target time")
 	smoke := flag.Bool("smoke", false, "run only the engine cross-check (one tiny point per protocol), no timed benchmarks")
+	giant := flag.Bool("giant", false, "run the giant-graph out-of-core harness (streaming build, mmap spill, fixed-seed replay) instead of the timed benchmarks")
+	giantSizes := flag.String("giant-sizes", "1000000,10000000,100000000", "comma-separated star leaf counts for -giant")
+	giantDir := flag.String("giant-dir", "", "spill directory for -giant (default: a temp dir, removed afterwards)")
 	flag.Parse()
 
 	if err := verifyEngines(); err != nil {
@@ -244,6 +276,38 @@ func main() {
 	fmt.Println("engine cross-check passed: batched == serial for all five protocols")
 	if *smoke {
 		return
+	}
+	if *giant {
+		sizes, err := parseGiantSizes(*giantSizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		dir, tmp := *giantDir, ""
+		if dir == "" {
+			var err error
+			if tmp, err = os.MkdirTemp("", "rumor-giant-*"); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			dir = tmp
+		}
+		path := *out
+		if path == "" {
+			path = "BENCH_PR7.json"
+		}
+		err = runGiant(sizes, dir, path)
+		if tmp != "" {
+			os.RemoveAll(tmp)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "giant-graph harness FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_PR4.json"
 	}
 
 	e1VisitX := multiTrialCase{graphs: e1StarSweep(), proto: "visitx"}
@@ -330,13 +394,7 @@ func main() {
 		fmt.Println()
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := writeJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

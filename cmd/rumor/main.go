@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rumor/internal/experiment"
@@ -44,6 +45,8 @@ func run(args []string, out io.Writer) error {
 		lazy      = fs.String("lazy", "auto", "agent walk laziness: auto | on | off")
 		maxRounds = fs.Int("maxrounds", 0, "round cutoff (0 = default n^2 bound)")
 		history   = fs.Bool("history", false, "print per-round informed counts of trial 0")
+		dataDir   = fs.String("data-dir", "", "content-addressed graph store directory; giant deterministic graphs build once and mmap on reuse")
+		spill     = fs.Int64("graph-spill", 256<<20, "spill deterministic graphs whose CSR is at least this many bytes into <data-dir>/graphs (0 = never; needs -data-dir)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: rumor [flags]\n\nFlags:\n")
@@ -52,6 +55,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		if err := experiment.ConfigureGraphStorage(filepath.Join(*dataDir, "graphs"), *spill); err != nil {
+			return err
+		}
 	}
 
 	// The CLI is a thin shell over the same spec-driven entry point the

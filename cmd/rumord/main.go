@@ -23,9 +23,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"rumor/internal/experiment"
 	"rumor/internal/serve"
 )
 
@@ -49,10 +51,19 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 		cache   = fs.Int("cache", 0, "completed-result LRU entries (0 = default 512)")
 		shards  = fs.Int("shards", 0, "job-table/cache shards (0 = default 16)")
 		dataDir = fs.String("data-dir", "", "spill evicted results to content-addressed files here; replayed byte-identically across restarts (empty = memory only)")
+		spill   = fs.Int64("graph-spill", 256<<20, "spill deterministic graphs whose CSR is at least this many bytes to <data-dir>/graphs and serve them mmap-backed (0 = never spill; needs -data-dir)")
 		drain   = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		// Graph spill shares the result spill's data dir: graphs live in
+		// a graphs/ subdirectory the result scan ignores, so one -data-dir
+		// captures everything a restart replays.
+		if err := experiment.ConfigureGraphStorage(filepath.Join(*dataDir, "graphs"), *spill); err != nil {
+			return err
+		}
 	}
 	s, err := serve.New(serve.Options{
 		Workers: *workers, QueueSize: *queue, CacheSize: *cache,

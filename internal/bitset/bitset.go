@@ -151,6 +151,27 @@ func (s *Set) NextClear(from int) int {
 // unless only Set/Clear/Reset were used.
 func (s *Set) Words() []uint64 { return s.words }
 
+// CommitNew ORs src into s one word at a time and calls fn for each bit
+// the merge newly set, in increasing order. It is the word-parallel form
+// of "for each i in src: if !s.Test(i) { s.Set(i); fn(i) }": the
+// new-bits word src &^ s computes 64 membership tests in one operation,
+// and wholly-redundant words (everything in src already in s — the common
+// case late in an epidemic) cost one load and one AND-NOT instead of 64
+// test-and-set calls. Both sets must have the same capacity.
+func (s *Set) CommitNew(src *Set, fn func(i int)) {
+	s.checkSameLen(src)
+	for wi, w := range src.words {
+		nw := w &^ s.words[wi]
+		if nw == 0 {
+			continue
+		}
+		s.words[wi] |= nw
+		for ; nw != 0; nw &= nw - 1 {
+			fn(wi*wordBits + bits.TrailingZeros64(nw))
+		}
+	}
+}
+
 // ForEach calls fn for every set bit in increasing order.
 func (s *Set) ForEach(fn func(i int)) {
 	for wi, w := range s.words {

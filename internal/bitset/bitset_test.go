@@ -262,3 +262,115 @@ func TestQuickNextClear(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCommitNew verifies CommitNew against the scalar test-and-set loop:
+// identical resulting set, and the callback sees exactly the newly set
+// bits in increasing order.
+func TestCommitNew(t *testing.T) {
+	const n = 200
+	s := New(n)
+	src := New(n)
+	for _, i := range []int{0, 1, 63, 64, 65, 130, 199} {
+		s.Set(i)
+	}
+	for _, i := range []int{1, 2, 63, 66, 130, 131, 198, 199} {
+		src.Set(i)
+	}
+	want := []int{2, 66, 131, 198}
+	var got []int
+	s.CommitNew(src, func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("CommitNew reported %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("CommitNew reported %v, want %v", got, want)
+		}
+	}
+	// The merged set is the union.
+	for i := 0; i < n; i++ {
+		wantBit := false
+		for _, j := range []int{0, 1, 63, 64, 65, 130, 199, 2, 66, 131, 198} {
+			if i == j {
+				wantBit = true
+			}
+		}
+		if s.Test(i) != wantBit {
+			t.Fatalf("bit %d = %v after CommitNew, want %v", i, s.Test(i), wantBit)
+		}
+	}
+}
+
+// TestCommitNewRedundant: a src wholly contained in s must set nothing and
+// never invoke the callback (the one-AND-NOT-per-word fast path).
+func TestCommitNewRedundant(t *testing.T) {
+	s := New(128)
+	src := New(128)
+	for i := 0; i < 128; i += 3 {
+		s.Set(i)
+		src.Set(i)
+	}
+	s.CommitNew(src, func(i int) {
+		t.Fatalf("callback invoked for bit %d on redundant commit", i)
+	})
+	if got := s.Count(); got != 43 {
+		t.Fatalf("Count = %d after redundant commit, want 43", got)
+	}
+}
+
+// TestCommitNewCapacityMismatchPanics mirrors the Union/Intersect contract.
+func TestCommitNewCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CommitNew with mismatched capacities did not panic")
+		}
+	}()
+	New(64).CommitNew(New(65), func(int) {})
+}
+
+// TestQuickCommitNew cross-checks CommitNew against the scalar
+// Test/Set/append loop on random sets.
+func TestQuickCommitNew(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 193
+		rng := rand.New(rand.NewPCG(seed, 9))
+		s := New(n)
+		src := New(n)
+		ref := New(n)
+		for i := 0; i < n; i++ {
+			if rng.IntN(2) == 0 {
+				s.Set(i)
+				ref.Set(i)
+			}
+			if rng.IntN(3) == 0 {
+				src.Set(i)
+			}
+		}
+		var wantNew []int
+		for i := 0; i < n; i++ {
+			if src.Test(i) && !ref.Test(i) {
+				ref.Set(i)
+				wantNew = append(wantNew, i)
+			}
+		}
+		var gotNew []int
+		s.CommitNew(src, func(i int) { gotNew = append(gotNew, i) })
+		if len(gotNew) != len(wantNew) {
+			return false
+		}
+		for k := range wantNew {
+			if gotNew[k] != wantNew[k] {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if s.Test(i) != ref.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

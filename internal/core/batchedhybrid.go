@@ -195,7 +195,7 @@ func (h *BatchedHybrid) stepLane(t int) {
 			L.pendingV = collectExchangeActive(L.informedV, L.srcs[:m], L.targets[:m], L.pendingV)
 		}
 	} else {
-		L.pendingV = collectExchangeDense(L.informedV, L.targets[:n], L.pendingV)
+		L.pendingV = collectExchangeDenseWords(L.informedV, L.targets[:n], L.pendingV)
 	}
 
 	// Deposit: agents informed in a previous round inform the vertex they

@@ -170,7 +170,7 @@ func (p *BatchedPushPull) stepLane(t int) {
 		// itself mutates only in the commit below, hence srcs).
 		L.pending = collectExchangeActive(L.informed, L.srcs[:m], L.targets[:m], L.pending)
 	} else {
-		L.pending = collectExchangeDense(L.informed, L.targets[:n], L.pending)
+		L.pending = collectExchangeDenseWords(L.informed, L.targets[:n], L.pending)
 	}
 	// Commit.
 	countBefore := L.count

@@ -19,6 +19,7 @@ type pushLane struct {
 	stagnant int
 	bnd      pushBoundary
 	targets  []graph.Vertex // per-sender draw scratch; -1 marks a failed send
+	drawn    *bitset.Set    // word-commit scratch: this round's draw targets
 	messages int64
 }
 
@@ -76,7 +77,14 @@ func NewBatchedPush(g *graph.Graph, s graph.Vertex, rngs []*xrand.RNG, opts Push
 		L := &p.lanes[t]
 		L.informed = bitset.New(g.N())
 		L.informed.Set(int(s))
-		L.frontier = append(make([]graph.Vertex, 0, g.N()), s)
+		// Pre-size the frontier for small graphs; beyond the cap, append's
+		// geometric growth amortizes without pinning N slots per lane up
+		// front on graphs where the run may never inform everyone.
+		pre := g.N()
+		if pre > 1<<20 {
+			pre = 1 << 20
+		}
+		L.frontier = append(make([]graph.Vertex, 0, pre), s)
 	}
 	return p, nil
 }
@@ -133,18 +141,54 @@ func (p *BatchedPush) stepLane(t int) {
 	if m == 0 {
 		return
 	}
-	if L.targets == nil {
-		L.targets = make([]graph.Vertex, p.g.N())
+	if cap(L.targets) < m {
+		// Grow geometrically: sized to the sender count, not N. On giant
+		// graphs a per-lane N-sized scratch (400 MB at 100M vertices)
+		// would rival the CSR itself; sender counts reach N only when the
+		// run is nearly done.
+		c := 2 * m
+		if c < 64 {
+			c = 64
+		}
+		L.targets = make([]graph.Vertex, c)
 	}
 	p.drawLane(t, senders, L.targets[:m])
-	// Commit in draw order; the informed test makes duplicates commit once.
 	before := len(L.frontier)
-	for _, v := range L.targets[:m] {
-		if v >= 0 && !L.informed.Test(int(v)) {
-			L.informed.Set(int(v))
-			L.frontier = append(L.frontier, v)
-			if L.boundary {
-				L.bnd.onInformed(p.g, v)
+	n := p.g.N()
+	if !L.boundary && m >= (n+63)/64 {
+		// Word-parallel commit: scatter the draws into a bitset, then
+		// merge 64 vertices per AND-NOT (bitset.CommitNew). With at least
+		// one sender per word the scatter+reset overhead is covered, and
+		// dense rounds — everyone informed, almost every draw redundant —
+		// collapse to one load-compare per word instead of 64 tests.
+		// Newly informed vertices join the frontier in vertex order rather
+		// than draw order; draws are keyed by vertex id, never by frontier
+		// position, so results are unchanged (the serial engine keeps the
+		// draw-order commit, and the equivalence suite pins the two).
+		if L.drawn == nil {
+			L.drawn = bitset.New(n)
+		}
+		for _, v := range L.targets[:m] {
+			if v >= 0 {
+				L.drawn.Set(int(v))
+			}
+		}
+		L.informed.CommitNew(L.drawn, func(i int) {
+			L.frontier = append(L.frontier, graph.Vertex(i))
+		})
+		L.drawn.Reset()
+	} else {
+		// Commit in draw order; the informed test makes duplicates commit
+		// once. Boundary mode stays here: onInformed mutates the active
+		// list the next round snapshots, and boundary sender sets are
+		// small by construction.
+		for _, v := range L.targets[:m] {
+			if v >= 0 && !L.informed.Test(int(v)) {
+				L.informed.Set(int(v))
+				L.frontier = append(L.frontier, v)
+				if L.boundary {
+					L.bnd.onInformed(p.g, v)
+				}
 			}
 		}
 	}

@@ -37,6 +37,61 @@ func collectExchangeDense(informed *bitset.Set, targets []graph.Vertex, pending 
 	return pending
 }
 
+// collectExchangeDenseWords is collectExchangeDense with the sender-side
+// informed test read word-at-a-time: one 64-bit load answers "is u
+// informed" for a whole vertex block, and the two uniform blocks — all 64
+// senders informed (the common case late in a run) or none (early) —
+// drop to a single-branch inner loop. The pending sequence it produces is
+// exactly collectExchangeDense's (same iteration order, same pre-commit
+// informed reads), so the serial engines that stay on the scalar collect
+// cross-validate this path through the serial-vs-batched equivalence
+// suites. The batched dense engines (push-pull, hybrid) call this.
+func collectExchangeDenseWords(informed *bitset.Set, targets []graph.Vertex, pending []graph.Vertex) []graph.Vertex {
+	words := informed.Words()
+	n := len(targets)
+	for base := 0; base < n; base += 64 {
+		w := words[base>>6]
+		hi := base + 64
+		if hi > n {
+			hi = n
+		}
+		switch w {
+		case ^uint64(0):
+			// Every sender in the block is informed: only the push
+			// direction can transfer. (Ghost bits past Len() are kept
+			// clear, so a tail block never takes this arm spuriously.)
+			for u := base; u < hi; u++ {
+				if v := targets[u]; v >= 0 && !informed.Test(int(v)) {
+					pending = append(pending, v)
+				}
+			}
+		case 0:
+			// No sender in the block is informed: only the pull direction.
+			for u := base; u < hi; u++ {
+				if v := targets[u]; v >= 0 && informed.Test(int(v)) {
+					pending = append(pending, graph.Vertex(u))
+				}
+			}
+		default:
+			for u := base; u < hi; u++ {
+				v := targets[u]
+				if v < 0 {
+					continue
+				}
+				iu := w>>(uint(u)&63)&1 != 0
+				iv := informed.Test(int(v))
+				switch {
+				case iu && !iv:
+					pending = append(pending, v)
+				case !iu && iv:
+					pending = append(pending, graph.Vertex(u))
+				}
+			}
+		}
+	}
+	return pending
+}
+
 // collectExchangeActive is collectExchangeDense for boundary mode, where
 // slot k's sender is srcs[k] (the active list mutates during the commit,
 // so the draw phase recorded it).

@@ -130,6 +130,33 @@ func TestLaneEquivalenceBatchedCallProtocols(t *testing.T) {
 	}
 }
 
+// TestLaneEquivalenceWordPaths: the word-parallel dense passes — the
+// 64-vertex-block exchange collect (collectExchangeDenseWords, with its
+// all-informed and none-informed block arms) and BatchedPush's
+// scatter-then-CommitNew frontier commit (taken once a round's sender
+// count reaches one per word) — must reproduce the serial scalar engines
+// bit for bit. The complete graph saturates in a few rounds, so most
+// blocks take the all-informed arm and push rounds exceed the word-commit
+// sender threshold almost immediately; the cycle spreads one vertex per
+// direction per round, keeping the boundary word mixed for the whole run;
+// the 193-vertex sizes exercise the partial tail block (ghost bits past
+// Len() must keep the tail word off the all-informed arm).
+func TestLaneEquivalenceWordPaths(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Complete(193), // dense: all-informed blocks, instant word commits
+		graph.Cycle(193),    // sparse: mixed boundary words every round
+		graph.Complete(64),  // exactly one word, no tail
+	}
+	const seed = 99
+	for _, g := range graphs {
+		for _, pc := range laneProtos(g, 0) {
+			for _, k := range []int{1, 3} {
+				compareLanes(t, g, pc, k, 0, seed)
+			}
+		}
+	}
+}
+
 // TestLaneEquivalenceMaxRounds: a lane cut off at maxRounds must report
 // the same truncated Result (Completed false, Rounds == maxRounds, partial
 // History) as the serial path, for every fused protocol.

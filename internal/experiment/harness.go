@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rumor/internal/core"
 	"rumor/internal/graph"
@@ -226,19 +227,83 @@ func shapeVerdict(ns, means []float64, accepted ...string) string {
 // an evicted key rebuilds on next use).
 const graphCacheCap = 64
 
+// graphCacheBytes bounds the *bytes* the memoized graphs pin, not just
+// their count: 64 slots of star:256 is a few megabytes, 64 slots of
+// paper-scale heavy trees is tens of gigabytes. Entries are priced by
+// Graph.MemoryCost, which charges heap-resident CSR arrays and the packed
+// walk index but only page-table noise for mmap-backed graphs — their
+// arrays live in reclaimable file cache, so a spilled giant costs the
+// cache almost nothing and does not displace the working set.
+const graphCacheBytes = 2 << 30
+
 // graphCache memoizes experiment graphs. Graphs are immutable and their
 // hot-path caches (packed walk index, stationary alias table) hang off the
 // instance, so sharing one instance per (family, parameter) across sweeps,
 // trials, and repeated experiment runs amortizes both construction and
 // cache building. Deterministic generators only: randomly generated graphs
 // must not be memoized (their identity depends on the seed).
-var graphCache = lru.New[string, *graph.Graph](graphCacheCap)
+//
+// Eviction never unmaps or frees a graph eagerly: concurrent trials may
+// still hold it, so eviction only drops the cache's reference and the
+// graph (plus any mmap backing, via its runtime cleanup) is collected
+// once the last trial finishes.
+var graphCache = func() *lru.Cache[string, *graph.Graph] {
+	c := lru.New[string, *graph.Graph](graphCacheCap)
+	c.SetCost(graphCacheBytes, func(_ string, g *graph.Graph) int64 {
+		return g.MemoryCost()
+	})
+	return c
+}()
+
+// graphStore, when configured, spills giant deterministic graphs to a
+// content-addressed directory and reopens them mmap-backed (see
+// ConfigureGraphStorage).
+var graphStore atomic.Pointer[graph.Store]
+
+// ConfigureGraphStorage routes deterministic graphs through an on-disk
+// content-addressed store rooted at dir (conventionally <data-dir>/graphs,
+// next to the serve layer's result spill): graphs whose CSR is at least
+// thresholdBytes are encoded once and reopened read-only via mmap, in this
+// process and across restarts. thresholdBytes <= 0 keeps every build
+// heap-resident while still reopening previously spilled files. Call
+// before serving traffic; passing an empty dir disables the store.
+func ConfigureGraphStorage(dir string, thresholdBytes int64) error {
+	if dir == "" {
+		graphStore.Store(nil)
+		return nil
+	}
+	st, err := graph.NewStore(dir, thresholdBytes)
+	if err != nil {
+		return err
+	}
+	graphStore.Store(st)
+	return nil
+}
+
+// buildDeterministic memoizes a deterministic graph, routing the build
+// through the spill store when one is configured. The LRU continues to
+// guarantee one build per key per residency; the store additionally makes
+// rebuilds after eviction (or restart) a file open instead of a
+// construction.
+func buildDeterministic(key string, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	return graphCache.GetOrBuildErr(key, func() (*graph.Graph, error) {
+		if st := graphStore.Load(); st != nil {
+			return st.GetOrBuild(key, build)
+		}
+		return build()
+	})
+}
 
 // cachedGraph returns the memoized graph for key, building it exactly once
 // on first use (concurrent first callers share one build). Use only for
 // deterministic (parameter-only) generators.
 func cachedGraph(key string, build func() *graph.Graph) *graph.Graph {
-	return graphCache.GetOrBuild(key, build)
+	g, err := buildDeterministic(key, func() (*graph.Graph, error) { return build(), nil })
+	if err != nil {
+		// Unreachable: the builder above cannot fail.
+		panic(err)
+	}
+	return g
 }
 
 // sourceOr returns the named landmark, falling back to vertex 0.

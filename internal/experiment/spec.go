@@ -208,7 +208,10 @@ func (s RunSpec) Build() (*graph.Graph, graph.Vertex, error) {
 		// also runs experiments shares one instance per graph. Build
 		// errors (e.g. star:0) are returned, not cached: a stream of
 		// invalid requests takes no recency slots and evicts nothing.
-		g, err = graphCache.GetOrBuildErr(p.Canonical(), func() (*graph.Graph, error) {
+		// With graph storage configured, giant graphs come back
+		// mmap-backed from the content-addressed store instead of being
+		// rebuilt on the heap.
+		g, err = buildDeterministic(p.Canonical(), func() (*graph.Graph, error) {
 			return p.Build(nil)
 		})
 		if err != nil {

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/lru"
+)
+
+// TestGraphCacheByteCostMixedSizes is the regression for the old
+// entry-count-only bound: one paper-scale graph among many tiny ones must
+// be displaced by byte pressure long before the slot count fills, and
+// mmap-backed graphs must be priced as nearly free.
+func TestGraphCacheByteCostMixedSizes(t *testing.T) {
+	c := lru.New[string, *graph.Graph](graphCacheCap)
+	// A small budget so the test stays fast: room for the tiny graphs or
+	// the big one, not both.
+	big := graph.Complete(600) // ~1.4 MB CSR
+	budget := big.MemoryCost() + 4*graph.Path(8).MemoryCost()
+	c.SetCost(budget, func(_ string, g *graph.Graph) int64 { return g.MemoryCost() })
+
+	c.Put("big", big)
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("small/%d", i), graph.Path(8))
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("big graph survived byte pressure from small inserts (entry-count-only eviction)")
+	}
+	if c.Len() != 16 {
+		// Evicting the big graph must have been enough: all 16 tiny
+		// graphs fit the budget together.
+		t.Fatalf("len = %d, want all 16 small graphs resident", c.Len())
+	}
+
+	// An mmap-backed copy of the same big graph costs ~a page, so it
+	// coexists with the small working set under the same budget.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.csr")
+	if err := graph.WriteCSRFile(big, path); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graph.OpenCSRFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.MmapBacked() {
+		t.Skip("no mmap on this platform")
+	}
+	c.Put("big-mapped", mapped)
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("small2/%d", i), graph.Path(8))
+	}
+	if _, ok := c.Get("big-mapped"); !ok {
+		t.Fatal("mmap-backed graph evicted despite costing almost nothing")
+	}
+}
+
+// TestSpilledGraphReplaysByteIdentical is the out-of-core correctness
+// seam: a fixed-seed run on a store-spilled, mmap-reopened graph must be
+// result-identical to the same run on the heap-built graph — and must
+// stay identical when the file is reopened again, the restart path.
+func TestSpilledGraphReplaysByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	defer func() {
+		if err := ConfigureGraphStorage("", 0); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	spec := DefaultRunSpec()
+	spec.Graph = "heavytree:10"
+	spec.Protocol = ProtoVisitX
+	spec.Trials = 4
+	spec.Seed = 7
+	spec, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: heap-built graph, no store.
+	if err := ConfigureGraphStorage("", 0); err != nil {
+		t.Fatal(err)
+	}
+	graphCache.Delete("heavytree:10")
+	want, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spill everything (threshold 1 byte), evicting the cached instance so
+	// the store path actually runs, and compare results.
+	if err := ConfigureGraphStorage(filepath.Join(dir, "graphs"), 1); err != nil {
+		t.Fatal(err)
+	}
+	graphCache.Delete("heavytree:10")
+	got, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("results differ between heap-built and spilled graph")
+	}
+	g, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.MmapBacked() {
+		t.Skip("no mmap on this platform")
+	}
+
+	// "Restart": drop the cached instance so the graph is reopened from
+	// the existing file (the builder must not run), and replay again.
+	graphCache.Delete("heavytree:10")
+	again, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, again) {
+		t.Fatal("results differ after reopening the spilled graph")
+	}
+}
+
+// TestConfigureGraphStorageErrors: an unusable directory is reported, and
+// an empty dir disables the store.
+func TestConfigureGraphStorageErrors(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "file")
+	if err := graph.WriteCSRFile(graph.Path(3), f); err != nil {
+		t.Fatal(err)
+	}
+	if err := ConfigureGraphStorage(filepath.Join(f, "graphs"), 1); err == nil {
+		t.Fatal("store configured under a regular file")
+	}
+	if err := ConfigureGraphStorage("", 0); err != nil {
+		t.Fatal(err)
+	}
+	if graphStore.Load() != nil {
+		t.Fatal("store still active after disable")
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is a content-addressed on-disk tier for deterministic graphs.
+//
+// Deterministic families are pure functions of their canonical spec
+// string, so the spec is the identity: a graph is encoded once into
+// <dir>/<sha256(spec)>.csr and every later request — in this process or
+// the next — reopens the file read-only via mmap instead of rebuilding.
+// Hashing the key keeps hostile or merely awkward spec strings (slashes,
+// dots, multi-kilobyte params) from steering the path, the same defense
+// the serve layer's spill tier applies to result IDs.
+//
+// Only graphs at or above the spill threshold go to disk: small graphs
+// rebuild in microseconds and would pay the encode round-trip for
+// nothing, while a giant graph's CSR moves off the Go heap entirely —
+// the mmap'd pages are file cache the kernel reclaims under pressure.
+// Writes are atomic (temp file + rename), so concurrent builders of the
+// same graph race benignly: both write identical bytes, one rename wins,
+// and a crash mid-write leaves only a temp file that is swept on reuse.
+type Store struct {
+	dir       string
+	threshold int64
+}
+
+// NewStore opens (creating if needed) a graph store rooted at dir.
+// Graphs whose CSR is at least thresholdBytes spill to disk; smaller
+// graphs stay heap-resident. thresholdBytes <= 0 disables spilling (the
+// store still opens previously spilled files).
+func NewStore(dir string, thresholdBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graph: store dir: %w", err)
+	}
+	return &Store{dir: dir, threshold: thresholdBytes}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Threshold returns the spill threshold in bytes (<= 0: spilling off).
+func (s *Store) Threshold() int64 { return s.threshold }
+
+// Path returns the content-addressed file path for a canonical spec key.
+func (s *Store) Path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".csr")
+}
+
+// shouldSpill reports whether a built graph belongs on disk.
+func (s *Store) shouldSpill(g *Graph) bool {
+	return s.threshold > 0 && g.CSRBytes() >= s.threshold
+}
+
+// GetOrBuild returns the graph identified by key. A valid spilled file is
+// reopened mmap-backed without invoking build; otherwise the graph is
+// built, and if it crosses the spill threshold it is encoded to disk and
+// reopened from the mapping so the heap copy can be collected. Disk
+// failures (full volume, torn file, revoked permissions) degrade to the
+// in-memory graph — the store is an optimization tier, never a
+// correctness dependency.
+func (s *Store) GetOrBuild(key string, build func() (*Graph, error)) (*Graph, error) {
+	path := s.Path(key)
+	if g, err := OpenCSRFile(path); err == nil {
+		return g, nil
+	} else if !os.IsNotExist(err) {
+		// A file exists but didn't decode (torn write from a crash,
+		// format revision): drop it and rebuild below.
+		os.Remove(path)
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if !s.shouldSpill(g) {
+		return g, nil
+	}
+	if err := WriteCSRFile(g, path); err != nil {
+		return g, nil
+	}
+	if m, err := OpenCSRFile(path); err == nil {
+		return m, nil
+	}
+	return g, nil
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreSpillsAndReopens(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "graphs"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Star(500)
+	builds := 0
+	build := func() (*Graph, error) { builds++; return Star(500), nil }
+
+	g1, err := st.GetOrBuild("star:500", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, want, g1)
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+	if _, err := os.Stat(st.Path("star:500")); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	// Second request must come from disk, not the builder — this is the
+	// cross-restart replay seam: a fresh process with the same data dir
+	// takes this path.
+	g2, err := st.GetOrBuild("star:500", func() (*Graph, error) {
+		t.Fatal("rebuilt a spilled graph")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, want, g2)
+}
+
+func TestStoreThresholdKeepsSmallGraphsInMemory(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "graphs"), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := st.GetOrBuild("path:9", func() (*Graph, error) { return Path(9), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MmapBacked() {
+		t.Fatal("small graph spilled despite threshold")
+	}
+	if _, err := os.Stat(st.Path("path:9")); !os.IsNotExist(err) {
+		t.Fatalf("spill file exists for under-threshold graph: %v", err)
+	}
+}
+
+func TestStoreDisabledThreshold(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "graphs"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := st.GetOrBuild("cycle:6", func() (*Graph, error) { return Cycle(6), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MmapBacked() {
+		t.Fatal("spilled with spilling disabled")
+	}
+}
+
+func TestStoreRecoversFromCorruptFile(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "graphs"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path("cycle:12")
+	if err := os.WriteFile(path, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := st.GetOrBuild("cycle:12", func() (*Graph, error) { return Cycle(12), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, Cycle(12), g)
+	// The rebuilt graph must have replaced the corrupt file with a valid one.
+	if _, err := OpenCSRFile(path); err != nil {
+		t.Fatalf("spill file still corrupt after rebuild: %v", err)
+	}
+}
+
+func TestStoreBuildErrorPropagates(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "graphs"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := os.ErrInvalid
+	if _, err := st.GetOrBuild("bad", func() (*Graph, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if _, err := os.Stat(st.Path("bad")); !os.IsNotExist(err) {
+		t.Fatal("file written for failed build")
+	}
+}
+
+func TestStoreHostileKeysStayInDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "graphs")
+	st, err := NewStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"../escape", "a/b/c", "", "star:1\x00"} {
+		p := st.Path(key)
+		if filepath.Dir(p) != dir {
+			t.Fatalf("key %q maps outside the store: %s", key, p)
+		}
+	}
+}
+
+func TestStoreDirCreationFailure(t *testing.T) {
+	blocked := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(blocked, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(filepath.Join(blocked, "graphs"), 1); err == nil {
+		t.Fatal("store created under a regular file")
+	}
+}

@@ -26,10 +26,11 @@ type Vertex = int32
 // The neighbor lists are sorted, which makes duplicate detection, equality
 // checks, and binary-search membership tests cheap.
 type Graph struct {
-	offsets   []int64 // len N()+1; neighbors of v are neighbors[offsets[v]:offsets[v+1]]
+	off       offsetStore // len N()+1; neighbors of v are neighbors[off.at(v):off.at(v+1)]
 	neighbors []Vertex
 	name      string
 	landmarks map[string]Vertex
+	backing   *mapping // non-nil when the CSR arrays alias an mmap'd file
 
 	// Lazily built, immutable-once-built caches for the simulation hot
 	// path (see index.go). Graphs are shared read-only across parallel
@@ -49,7 +50,7 @@ type Graph struct {
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.offsets) - 1 }
+func (g *Graph) N() int { return g.off.len() - 1 }
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return len(g.neighbors) / 2 }
@@ -59,13 +60,15 @@ func (g *Graph) Name() string { return g.name }
 
 // Degree returns the degree of v.
 func (g *Graph) Degree(v Vertex) int {
-	return int(g.offsets[v+1] - g.offsets[v])
+	lo, hi := g.off.span(v)
+	return hi - lo
 }
 
 // Neighbors returns the sorted neighbor list of v. The returned slice aliases
 // the graph's internal storage and must not be modified.
 func (g *Graph) Neighbors(v Vertex) []Vertex {
-	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+	lo, hi := g.off.span(v)
+	return g.neighbors[lo:hi]
 }
 
 // HasEdge reports whether {u, v} is an edge.
@@ -86,7 +89,7 @@ func (g *Graph) EndpointCount() int { return len(g.neighbors) }
 // a stationary-distributed vertex.
 func (g *Graph) EndpointOwner(i int) Vertex {
 	// Find the largest v with offsets[v] <= i, i.e. offsets[v+1] > i.
-	v := sort.Search(g.N(), func(v int) bool { return g.offsets[v+1] > int64(i) })
+	v := sort.Search(g.N(), func(v int) bool { return g.off.at(v+1) > int64(i) })
 	return Vertex(v)
 }
 
@@ -177,11 +180,11 @@ func (g *Graph) IsRegular() (bool, int) {
 // to run in tests on every family.
 func (g *Graph) Validate() error {
 	n := g.N()
-	if int64(len(g.neighbors)) != g.offsets[n] {
-		return fmt.Errorf("graph: offsets end %d != len(neighbors) %d", g.offsets[n], len(g.neighbors))
+	if int64(len(g.neighbors)) != g.off.at(n) {
+		return fmt.Errorf("graph: offsets end %d != len(neighbors) %d", g.off.at(n), len(g.neighbors))
 	}
 	for v := 0; v < n; v++ {
-		if g.offsets[v] > g.offsets[v+1] {
+		if g.off.at(v) > g.off.at(v+1) {
 			return fmt.Errorf("graph: offsets not monotone at %d", v)
 		}
 		nb := g.Neighbors(Vertex(v))
@@ -243,10 +246,10 @@ func (b *Builder) SetLandmark(name string, v Vertex) {
 }
 
 // Build finalizes the graph. It sorts adjacency lists and returns an error
-// if any duplicate edge was added.
+// if any duplicate edge was added. The offset array comes out in the
+// narrowest width the endpoint count allows (see offsetStore).
 func (b *Builder) Build() (*Graph, error) {
-	offsets := make([]int64, b.n+1)
-	total := 0
+	total := int64(0)
 	for v, nb := range b.adj {
 		slices.Sort(nb)
 		for i := 1; i < len(nb); i++ {
@@ -254,15 +257,18 @@ func (b *Builder) Build() (*Graph, error) {
 				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, nb[i])
 			}
 		}
-		total += len(nb)
-		offsets[v+1] = offsets[v] + int64(len(nb))
+		total += int64(len(nb))
+	}
+	off := newOffsetStore(b.n, total)
+	for v, nb := range b.adj {
+		off.set(v+1, off.at(v)+int64(len(nb)))
 	}
 	neighbors := make([]Vertex, 0, total)
 	for _, nb := range b.adj {
 		neighbors = append(neighbors, nb...)
 	}
 	return &Graph{
-		offsets:   offsets,
+		off:       off,
 		neighbors: neighbors,
 		name:      b.name,
 		landmarks: b.lmk,

@@ -29,21 +29,38 @@ const (
 	walkPow2Bit   = 1
 )
 
+// walkIndexMaxBytes caps the packed walk index's heap footprint at 8 bytes
+// per vertex: graphs beyond 2^25 vertices (a 256 MiB index) skip it and
+// sample through the CSR slices instead. Giant graphs are exactly the ones
+// the mmap tier keeps off the heap, so pinning an O(N) heap index for them
+// would defeat the out-of-core budget; the fallback consumes identical
+// draws, so the cap never changes results — only per-draw cost.
+const walkIndexMaxBytes = 1 << 28
+
+// walkIndexEligible reports whether WalkIndex will (or did) build an
+// index for this graph. It is a pure function of the graph's shape, so
+// memory-cost estimates can charge the index before it is lazily built.
+func (g *Graph) walkIndexEligible() bool {
+	n := g.N()
+	return n > 0 && int64(len(g.neighbors)) < 1<<32 && int64(n)*8 <= walkIndexMaxBytes
+}
+
 // WalkIndex returns the packed per-vertex sampling index, building it on
 // first use. It returns nil when the graph is too large to pack (2M >=
-// 2^32 neighbor slots); callers fall back to the offsets-based path, which
-// consumes identical draws and applies the same reduction (xrand.ReduceDeg
-// mirrors the mask/multiply-shift split), so results do not depend on
-// which path ran.
+// 2^32 neighbor slots, or the index would exceed walkIndexMaxBytes);
+// callers fall back to the offsets-based path, which consumes identical
+// draws and applies the same reduction (xrand.ReduceDeg mirrors the
+// mask/multiply-shift split), so results do not depend on which path ran.
 func (g *Graph) WalkIndex() []uint64 {
 	g.walkOnce.Do(func() {
-		if int64(len(g.neighbors)) >= 1<<32 || g.N() == 0 {
+		if !g.walkIndexEligible() {
 			return
 		}
 		idx := make([]uint64, g.N())
 		for v := 0; v < g.N(); v++ {
-			base := uint64(g.offsets[v]) << walkBaseShift
-			deg := uint64(g.offsets[v+1] - g.offsets[v])
+			lo, hi := g.off.span(Vertex(v))
+			base := uint64(lo) << walkBaseShift
+			deg := uint64(hi - lo)
 			if deg > 0 && deg&(deg-1) == 0 {
 				idx[v] = base | (deg-1)<<1 | walkPow2Bit
 				g.walkHasPow2 = true
@@ -200,7 +217,7 @@ func (g *Graph) StationaryAlias() *xrand.Alias {
 		}
 		weights := make([]float64, g.N())
 		for v := 0; v < g.N(); v++ {
-			weights[v] = float64(g.offsets[v+1] - g.offsets[v])
+			weights[v] = float64(g.Degree(Vertex(v)))
 		}
 		a, err := xrand.NewAlias(weights)
 		if err != nil {

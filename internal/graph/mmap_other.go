@@ -1,0 +1,23 @@
+//go:build !(linux || darwin)
+
+package graph
+
+import "os"
+
+// mapping on platforms without mmap support: the encoded file is loaded
+// onto the heap. Graphs still round-trip through the same on-disk format
+// and content-addressed store; only the out-of-core property is lost.
+type mapping struct {
+	data []byte
+	heap bool
+}
+
+func mapFile(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data, heap: true}, nil
+}
+
+func (m *mapping) close() {}

@@ -1,0 +1,56 @@
+//go:build linux || darwin
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only memory mapping of an encoded CSR file. The
+// Graph whose arrays alias it keeps a pointer; a runtime cleanup unmaps
+// the region once the Graph is unreachable, so no reader can outlive the
+// mapping. On platforms without mmap the fallback loads the file onto the
+// heap behind the same type (see mmap_other.go).
+type mapping struct {
+	data []byte
+	heap bool // heap-loaded fallback: nothing to unmap
+}
+
+// mapFile maps path read-only. The returned mapping's pages are file
+// cache: the kernel reclaims them under pressure and faults them back on
+// access, which is what lets a graph far beyond RAM be swept at all.
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return &mapping{heap: true}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("graph: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	return &mapping{data: data}, nil
+}
+
+// close unmaps the region. Called by the Graph cleanup only after the
+// Graph (and so every alias of the arrays) is unreachable.
+func (m *mapping) close() {
+	if m.heap || m.data == nil {
+		return
+	}
+	syscall.Munmap(m.data)
+	m.data = nil
+}

@@ -40,6 +40,7 @@ type entry[K comparable, V any] struct {
 	val        V
 	err        error // failed build (GetOrBuildErr); never cached
 	linked     bool  // member of the recency list (completed entries only)
+	cost       int64 // charged against the byte budget while linked
 	prev, next *entry[K, V]
 }
 
@@ -56,6 +57,15 @@ type Cache[K comparable, V any] struct {
 	nlinked   int          // completed entries in the recency list
 	evictions int64
 	onEvict   func(K, V) // capacity-eviction observer; may be nil
+
+	// Byte-cost bound (SetCost): entries are charged costFn at link time
+	// and eviction additionally runs while totalCost exceeds budget. An
+	// entry-count bound alone lets 64 giant graphs pin hundreds of
+	// gigabytes while 64 tiny ones waste the slots; the cost bound makes
+	// residency proportional to what entries actually hold.
+	costFn    func(K, V) int64
+	budget    int64
+	totalCost int64
 }
 
 // New returns a cache bounded to cap completed entries. cap < 1 is
@@ -78,6 +88,29 @@ func (c *Cache[K, V]) OnEvict(fn func(K, V)) {
 	c.mu.Lock()
 	c.onEvict = fn
 	c.mu.Unlock()
+}
+
+// SetCost bounds the cache by total entry cost in addition to the entry
+// count: fn prices each entry when it links into the recency list, and
+// insertion evicts from the LRU end while the total exceeds budget. The
+// most recent entry is never evicted by the cost bound, so a single
+// over-budget value still caches (evicting it would degrade GetOrBuild
+// to build-every-time for every key). budget <= 0 or a nil fn removes
+// the bound. Install before the cache is shared, like OnEvict; costs are
+// sampled once per residency, so fn should price immutable state.
+func (c *Cache[K, V]) SetCost(budget int64, fn func(K, V) int64) {
+	c.mu.Lock()
+	c.costFn = fn
+	c.budget = budget
+	c.mu.Unlock()
+}
+
+// Cost returns the total cost of linked entries and the budget. Both are
+// zero until SetCost installs a pricing function.
+func (c *Cache[K, V]) Cost() (total, budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalCost, c.budget
 }
 
 // Get returns the value cached for k, marking it most recently used.
@@ -216,6 +249,10 @@ func (c *Cache[K, V]) detach(k K) {
 func (c *Cache[K, V]) link(e *entry[K, V]) []*entry[K, V] {
 	e.linked = true
 	c.nlinked++
+	if c.costFn != nil {
+		e.cost = c.costFn(e.key, e.val)
+		c.totalCost += e.cost
+	}
 	e.prev = nil
 	e.next = c.head
 	if c.head != nil {
@@ -226,9 +263,10 @@ func (c *Cache[K, V]) link(e *entry[K, V]) []*entry[K, V] {
 		c.tail = e
 	}
 	// Evict from the tail; only linked (completed) entries are in the
-	// list, so in-flight builds are never displaced.
+	// list, so in-flight builds are never displaced. The cost bound never
+	// evicts the entry just linked (nlinked > 1 guard).
 	var evicted []*entry[K, V]
-	for c.nlinked > c.cap {
+	for c.nlinked > c.cap || (c.budget > 0 && c.totalCost > c.budget && c.nlinked > 1) {
 		lru := c.tail
 		c.unlink(lru)
 		delete(c.m, lru.key)
@@ -238,14 +276,24 @@ func (c *Cache[K, V]) link(e *entry[K, V]) []*entry[K, V] {
 	return evicted
 }
 
-// moveToFront marks e most recently used. Caller holds mu. unlink+link
-// leaves nlinked net-unchanged, so link's eviction loop no-ops.
+// moveToFront marks e most recently used by splicing it to the list head
+// in place: nlinked and totalCost are untouched, so a Get can never
+// trigger an eviction — only insertions do. Caller holds mu.
 func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
 	if !e.linked || c.head == e {
 		return
 	}
-	c.unlink(e)
-	c.link(e)
+	// e is not the head, so e.prev != nil and c.head != nil.
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev = nil
+	e.next = c.head
+	c.head.prev = e
+	c.head = e
 }
 
 // unlink removes e from the recency list. Caller holds mu.
@@ -263,4 +311,6 @@ func (c *Cache[K, V]) unlink(e *entry[K, V]) {
 	e.prev, e.next = nil, nil
 	e.linked = false
 	c.nlinked--
+	c.totalCost -= e.cost
+	e.cost = 0
 }

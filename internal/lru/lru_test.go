@@ -297,3 +297,128 @@ func TestOnEvictReentrant(t *testing.T) {
 		t.Fatal("observer's own Put lost")
 	}
 }
+
+// TestSetCostBudgetEviction: with a pricing function installed, inserts
+// evict from the LRU end until the total cost fits the budget, even with
+// the entry-count bound far from exhausted — a handful of expensive
+// values cannot pin unbounded memory behind a generous slot count.
+func TestSetCostBudgetEviction(t *testing.T) {
+	c := New[string, int](64)
+	c.SetCost(100, func(k string, v int) int64 { return int64(v) })
+	c.Put("a", 40)
+	c.Put("b", 40)
+	if total, budget := c.Cost(); total != 80 || budget != 100 {
+		t.Fatalf("cost = %d/%d, want 80/100", total, budget)
+	}
+	c.Put("c", 40) // 120 > 100: evict a (LRU)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived budget eviction")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b evicted though evicting a sufficed")
+	}
+	if total, _ := c.Cost(); total != 80 {
+		t.Fatalf("total = %d after eviction, want 80", total)
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+// TestSetCostKeepsNewestOverBudgetEntry: one value larger than the whole
+// budget still caches — evicting the entry just inserted would make the
+// cache useless for every oversized key.
+func TestSetCostKeepsNewestOverBudgetEntry(t *testing.T) {
+	c := New[string, int](8)
+	c.SetCost(10, func(k string, v int) int64 { return int64(v) })
+	c.Put("small", 1)
+	c.Put("huge", 1000) // over budget alone; evicts small, keeps huge
+	if _, ok := c.Get("huge"); !ok {
+		t.Fatal("over-budget entry not cached")
+	}
+	if _, ok := c.Get("small"); ok {
+		t.Fatal("small survived while the budget was blown")
+	}
+	if total, _ := c.Cost(); total != 1000 {
+		t.Fatalf("total = %d, want 1000", total)
+	}
+}
+
+// TestSetCostMixedSizes is the graph-cache regression shape: many cheap
+// entries and one expensive one coexist under the same budget, with the
+// cheap ones never displaced by count pressure alone.
+func TestSetCostMixedSizes(t *testing.T) {
+	c := New[string, int](64)
+	c.SetCost(1000, func(k string, v int) int64 { return int64(v) })
+	c.Put("big", 900)
+	for i := 0; i < 20; i++ {
+		c.Put(string(rune('a'+i)), 4) // 80 total alongside big: fits
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("big evicted though everything fit")
+	}
+	c.Put("big2", 900) // 900+80+900 > 1000: evicts big and some cheap ones
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("big survived a second big insert under a 1000 budget")
+	}
+	if _, ok := c.Get("big2"); !ok {
+		t.Fatal("big2 not resident")
+	}
+	if total, _ := c.Cost(); total > 1000 {
+		t.Fatalf("total = %d exceeds budget after evictions", total)
+	}
+}
+
+// TestSetCostDeleteRefunds: Delete returns an entry's cost to the budget.
+func TestSetCostDeleteRefunds(t *testing.T) {
+	c := New[string, int](8)
+	c.SetCost(100, func(k string, v int) int64 { return int64(v) })
+	c.Put("a", 60)
+	c.Delete("a")
+	if total, _ := c.Cost(); total != 0 {
+		t.Fatalf("total = %d after delete, want 0", total)
+	}
+	c.Put("b", 60)
+	c.Put("c", 30)
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b evicted though a's cost was refunded")
+	}
+}
+
+// TestSetCostDisable: removing the bound stops pricing new entries.
+func TestSetCostDisable(t *testing.T) {
+	c := New[string, int](8)
+	c.SetCost(10, func(k string, v int) int64 { return int64(v) })
+	c.Put("a", 5)
+	c.SetCost(0, nil)
+	c.Put("b", 1000) // no pricing, no budget: both stay
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted with bound removed")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b not cached with bound removed")
+	}
+}
+
+// TestMoveToFrontFromMiddle covers the recency splice for an entry that is
+// neither head nor tail, with cost accounting intact across the move.
+func TestMoveToFrontFromMiddle(t *testing.T) {
+	c := New[string, int](3)
+	c.SetCost(100, func(k string, v int) int64 { return int64(v) })
+	c.Put("a", 10)
+	c.Put("b", 20)
+	c.Put("c", 30)
+	if _, ok := c.Get("b"); !ok { // middle of the list
+		t.Fatal("b missing")
+	}
+	if total, _ := c.Cost(); total != 60 {
+		t.Fatalf("total = %d after Get, want 60 (Get must not reprice)", total)
+	}
+	c.Put("d", 10) // count bound evicts LRU = a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived; recency order broken by middle splice")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b evicted despite being freshened")
+	}
+}
