@@ -24,20 +24,20 @@ import (
 
 // giantPoint is one size's measurements in the -giant report.
 type giantPoint struct {
-	N                 int     `json:"n"`
-	Edges             int64   `json:"edges"`
-	CSRBytes          int64   `json:"csr_bytes"`
-	OffsetWidth       int     `json:"offset_width_bytes"`
-	BytesPerEdge      float64 `json:"bytes_per_edge"`
-	BuildSeconds      float64 `json:"build_seconds"`
-	BuildPeakBytes    int64   `json:"build_peak_heap_bytes"`
-	BuildPeakRatio    float64 `json:"build_peak_ratio"` // peak heap growth / csr_bytes
-	SpillSeconds      float64 `json:"spill_seconds"`    // encode + reopen
-	MmapBacked        bool    `json:"mmap_backed"`
-	SweepSecondsHeap  float64 `json:"sweep_seconds_heap"`
-	SweepSecondsMmap  float64 `json:"sweep_seconds_mmap"`
-	SweepIdentical    bool    `json:"sweep_identical"`
-	VmHWMBytesSoFar   int64   `json:"vm_hwm_bytes_so_far,omitempty"`
+	N                int     `json:"n"`
+	Edges            int64   `json:"edges"`
+	CSRBytes         int64   `json:"csr_bytes"`
+	OffsetWidth      int     `json:"offset_width_bytes"`
+	BytesPerEdge     float64 `json:"bytes_per_edge"`
+	BuildSeconds     float64 `json:"build_seconds"`
+	BuildPeakBytes   int64   `json:"build_peak_heap_bytes"`
+	BuildPeakRatio   float64 `json:"build_peak_ratio"` // peak heap growth / csr_bytes
+	SpillSeconds     float64 `json:"spill_seconds"`    // encode + reopen
+	MmapBacked       bool    `json:"mmap_backed"`
+	SweepSecondsHeap float64 `json:"sweep_seconds_heap"`
+	SweepSecondsMmap float64 `json:"sweep_seconds_mmap"`
+	SweepIdentical   bool    `json:"sweep_identical"`
+	VmHWMBytesSoFar  int64   `json:"vm_hwm_bytes_so_far,omitempty"`
 }
 
 // shardScaling records a fixed batched sweep timed at GOMAXPROCS 1 and

@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/bench [-out BENCH_PR4.json] [-benchtime 2s] [-smoke]
 //	go run ./cmd/bench -giant [-giant-sizes 1000000,...] [-out BENCH_PR7.json]
+//	go run ./cmd/bench -serve-overhead [-out BENCH_PR8.json]
 //
 // Before timing anything, bench cross-checks the engines: for every one of
 // the five protocols it runs the same multi-trial sweep through the serial
@@ -265,16 +266,36 @@ func main() {
 	benchtime := flag.Duration("benchtime", 2*time.Second, "per-benchmark target time")
 	smoke := flag.Bool("smoke", false, "run only the engine cross-check (one tiny point per protocol), no timed benchmarks")
 	giant := flag.Bool("giant", false, "run the giant-graph out-of-core harness (streaming build, mmap spill, fixed-seed replay) instead of the timed benchmarks")
+	serveOverhead := flag.Bool("serve-overhead", false, "measure the metrics layer's cost on the cached /v1/run hot path (instrumented vs DisableMetrics) instead of the timed benchmarks")
 	giantSizes := flag.String("giant-sizes", "1000000,10000000,100000000", "comma-separated star leaf counts for -giant")
 	giantDir := flag.String("giant-dir", "", "spill directory for -giant (default: a temp dir, removed afterwards)")
+	overheadChild := flag.String("serve-overhead-child", "", "internal: benchmark one cached-run server variant (instrumented|bare) in this process and print ns/op")
 	flag.Parse()
 
+	if *overheadChild != "" {
+		if err := runOverheadChild(*overheadChild); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := verifyEngines(); err != nil {
 		fmt.Fprintf(os.Stderr, "engine cross-check FAILED: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("engine cross-check passed: batched == serial for all five protocols")
 	if *smoke {
+		return
+	}
+	if *serveOverhead {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR8.json"
+		}
+		if err := runServeOverhead(path, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "serve-overhead harness FAILED: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *giant {

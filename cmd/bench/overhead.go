@@ -1,0 +1,262 @@
+package main
+
+// -serve-overhead measures what the PR-8 metrics layer costs on the
+// serving hot path: the same cached /v1/run request is driven through
+// two in-process serve.Servers — one with the default instrumented
+// options, one with DisableMetrics — and the per-request deltas are
+// published alongside microcosts of the individual metric operations.
+// The acceptance target is <1% overhead on the cached path; the report
+// records the measured percentage and a pass flag so CI can gate on it.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rumor/internal/metrics"
+	"rumor/internal/serve"
+)
+
+// overheadSpec is the cached request both servers serve: small enough
+// that the handler path (decode, normalize, shard lookup, replay)
+// dominates, which is exactly where the instrumentation sits.
+const overheadSpec = `{"graph":"star:64","protocol":"visitx","trials":4,"seed":1}`
+
+type overheadReport struct {
+	Timestamp       string  `json:"timestamp"`
+	GoVersion       string  `json:"go_version"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	Spec            string  `json:"spec"`
+	InstrumentedNs  float64 `json:"cached_run_instrumented_ns_per_op"`
+	BareNs          float64 `json:"cached_run_bare_ns_per_op"`
+	OverheadPercent float64 `json:"overhead_percent"`
+	Target          string  `json:"target"`
+	Pass            bool    `json:"pass"`
+	Micro           []entry `json:"metric_op_microcosts"`
+}
+
+// newOverheadServer builds a server and warms the cache so every
+// benchmarked request replays from memory (X-Rumord-Source: cache).
+func newOverheadServer(disable bool) (*serve.Server, http.Handler, error) {
+	s, err := serve.New(serve.Options{Workers: 2, DisableMetrics: disable})
+	if err != nil {
+		return nil, nil, err
+	}
+	h := s.Handler()
+	for i, want := range []string{"", "cache"} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/run", bytes.NewReader([]byte(overheadSpec)))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, nil, fmt.Errorf("warmup %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if want != "" && rec.Header().Get("X-Rumord-Source") != want {
+			return nil, nil, fmt.Errorf("warmup %d: source %q, want %q", i, rec.Header().Get("X-Rumord-Source"), want)
+		}
+	}
+	return s, h, nil
+}
+
+func benchCachedRun(h http.Handler) func(b *testing.B) {
+	body := []byte(overheadSpec)
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/v1/run", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	}
+}
+
+// bestOf repeats a benchmark until the budget elapses and keeps the
+// fastest (least-interfered) ns/op, like the main benchmark loop.
+func bestOf(fn func(b *testing.B), budget time.Duration) (ns float64, iters int) {
+	deadline := time.Now().Add(budget)
+	ns = -1
+	for {
+		res := testing.Benchmark(fn)
+		if v := float64(res.NsPerOp()); ns < 0 || v < ns {
+			ns = v
+			iters = res.N
+		}
+		if !time.Now().Before(deadline) {
+			return ns, iters
+		}
+	}
+}
+
+// runOverheadChild is the re-exec'd half of the overhead measurement:
+// benchmark one server variant in a pristine process and print ns/op.
+// Running both variants in one process skews the comparison by tens of
+// nanoseconds — whichever server is built second inherits a different
+// heap layout — so the parent execs the same binary once per sample and
+// the only difference between the two populations is the metrics branch.
+func runOverheadChild(variant string) error {
+	s, h, err := newOverheadServer(variant == "bare")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	res := testing.Benchmark(benchCachedRun(h))
+	fmt.Println(res.NsPerOp())
+	return nil
+}
+
+// sampleChild execs one child round and parses its ns/op.
+func sampleChild(exe, variant string) (float64, error) {
+	out, err := exec.Command(exe, "-serve-overhead-child", variant).Output()
+	if err != nil {
+		return 0, fmt.Errorf("child %s: %w", variant, err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("child %s: empty output", variant)
+	}
+	ns, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		return 0, fmt.Errorf("child %s: parse %q: %w", variant, out, err)
+	}
+	return ns, nil
+}
+
+// microBenches times the individual metric operations the hot path
+// pays: pre-resolved counter and histogram updates, plus a full
+// registry render at serve-like cardinality for scrape-cost context.
+func microBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	reg := metrics.NewRegistry()
+	ctr := reg.Counter("bench_counter_total", "bench")
+	child := reg.CounterVec("bench_vec_total", "bench", "k").With("v")
+	hist := reg.Histogram("bench_seconds", "bench", metrics.ExpBuckets(0.0001, 2, 21))
+	// Scrape-cost registry shaped like rumord's: a few plain counters,
+	// labeled families, and 21-bucket histograms per protocol.
+	scrapeReg := metrics.NewRegistry()
+	for i := 0; i < 12; i++ {
+		scrapeReg.Counter(fmt.Sprintf("scrape_counter_%d_total", i), "bench").Add(int64(i))
+	}
+	vec := scrapeReg.CounterVec("scrape_vec_total", "bench", "source")
+	for _, s := range []string{"run", "dedup", "cache", "disk"} {
+		vec.With(s).Inc()
+	}
+	hv := scrapeReg.HistogramVec("scrape_seconds", "bench", metrics.ExpBuckets(0.0001, 2, 21), "protocol")
+	for _, p := range []string{"push", "ppull", "visitx", "meetx", "hybrid"} {
+		h := hv.With(p)
+		for i := 0; i < 100; i++ {
+			h.Observe(float64(i) * 0.0001)
+		}
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"MetricsCounterInc", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctr.Inc()
+			}
+		}},
+		{"MetricsVecChildInc", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				child.Inc()
+			}
+		}},
+		{"MetricsHistogramObserve", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hist.Observe(0.0042)
+			}
+		}},
+		{"MetricsRegistryWriteText", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := scrapeReg.WriteText(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// runServeOverhead measures instrumented vs bare cached-run latency and
+// writes the BENCH_PR8.json report. The two servers are benchmarked in
+// alternating rounds inside bestOf's budget so ambient machine noise
+// hits both sides roughly equally.
+func runServeOverhead(out string, benchtime time.Duration) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate own binary for child rounds: %w", err)
+	}
+	// Alternating fresh-process rounds; each child is one ~1s
+	// testing.Benchmark run, and the minimum per side is the
+	// least-interfered sample.
+	rounds := int(benchtime / (4 * time.Second))
+	if rounds < 3 {
+		rounds = 3
+	}
+	instrNs, bareNs := -1.0, -1.0
+	for i := 0; i < rounds; i++ {
+		iv, err := sampleChild(exe, "instrumented")
+		if err != nil {
+			return err
+		}
+		bv, err := sampleChild(exe, "bare")
+		if err != nil {
+			return err
+		}
+		if instrNs < 0 || iv < instrNs {
+			instrNs = iv
+		}
+		if bareNs < 0 || bv < bareNs {
+			bareNs = bv
+		}
+	}
+	overhead := (instrNs - bareNs) / bareNs * 100
+
+	rep := overheadReport{
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Spec:            overheadSpec,
+		InstrumentedNs:  instrNs,
+		BareNs:          bareNs,
+		OverheadPercent: overhead,
+		Target:          "instrumented cached /v1/run within 1% of DisableMetrics",
+		Pass:            overhead < 1.0,
+	}
+	fmt.Printf("%-34s %12.0f ns/op\n", "CachedRunInstrumented", instrNs)
+	fmt.Printf("%-34s %12.0f ns/op\n", "CachedRunBare", bareNs)
+	fmt.Printf("%-34s %11.3f%%  (target <1%%)\n", "MetricsOverhead", overhead)
+	for _, mb := range microBenches() {
+		ns, iters := bestOf(mb.fn, benchtime/4)
+		rep.Micro = append(rep.Micro, entry{Name: mb.name, NsPerOp: ns, Iterations: iters})
+		fmt.Printf("%-34s %12.1f ns/op\n", mb.name, ns)
+	}
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !rep.Pass {
+		return fmt.Errorf("metrics overhead %.3f%% exceeds the 1%% budget", overhead)
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (served only on -pprof-addr)
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,15 +45,16 @@ func main() {
 func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8356", "listen address (use 127.0.0.1:0 with -port-file for an ephemeral port)")
-		portFile = fs.String("port-file", "", "write the bound address here once listening, so supervisors spawning on :0 can learn the port")
-		workers = fs.Int("workers", 0, "concurrent simulations (0 = half the processors)")
-		queue   = fs.Int("queue", 0, "max queued jobs (0 = default 256)")
-		cache   = fs.Int("cache", 0, "completed-result LRU entries (0 = default 512)")
-		shards  = fs.Int("shards", 0, "job-table/cache shards (0 = default 16)")
-		dataDir = fs.String("data-dir", "", "spill evicted results to content-addressed files here; replayed byte-identically across restarts (empty = memory only)")
-		spill   = fs.Int64("graph-spill", 256<<20, "spill deterministic graphs whose CSR is at least this many bytes to <data-dir>/graphs and serve them mmap-backed (0 = never spill; needs -data-dir)")
-		drain   = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+		addr      = fs.String("addr", ":8356", "listen address (use 127.0.0.1:0 with -port-file for an ephemeral port)")
+		portFile  = fs.String("port-file", "", "write the bound address here once listening, so supervisors spawning on :0 can learn the port")
+		workers   = fs.Int("workers", 0, "concurrent simulations (0 = half the processors)")
+		queue     = fs.Int("queue", 0, "max queued jobs (0 = default 256)")
+		cache     = fs.Int("cache", 0, "completed-result LRU entries (0 = default 512)")
+		shards    = fs.Int("shards", 0, "job-table/cache shards (0 = default 16)")
+		dataDir   = fs.String("data-dir", "", "spill evicted results to content-addressed files here; replayed byte-identically across restarts (empty = memory only)")
+		spill     = fs.Int64("graph-spill", 256<<20, "spill deterministic graphs whose CSR is at least this many bytes to <data-dir>/graphs and serve them mmap-backed (0 = never spill; needs -data-dir)")
+		drain     = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never on the serving port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +76,17 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 	}
 	if *dataDir != "" {
 		log.Printf("rumord: data dir %s: %d spilled results resident", *dataDir, s.SpillLen())
+	}
+	if *pprofAddr != "" {
+		// Profiling binds its own listener so /debug/pprof/* is reachable
+		// only where the operator pointed it, never on the serving port.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen %s: %w", *pprofAddr, err)
+		}
+		defer pln.Close()
+		log.Printf("rumord: pprof on http://%s/debug/pprof/", pln.Addr())
+		go http.Serve(pln, nil) // DefaultServeMux carries the pprof routes
 	}
 	// A listen failure — most commonly the port is already bound by
 	// another process — is an orderly, logged, non-zero exit: supervisors

@@ -23,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (served only on -pprof-addr)
 	"os"
 	"os/signal"
 	"strings"
@@ -44,17 +45,18 @@ func main() {
 func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("rumorgw", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8360", "listen address")
-		backends = fs.String("backends", "", "comma-separated rumord addresses (required)")
-		portFile = fs.String("port-file", "", "write the bound address here once listening (for process supervisors)")
-		replicas = fs.Int("replicas", 0, "virtual ring nodes per backend (0 = default 64)")
-		attempts = fs.Int("attempts", 0, "max attempts per proxied request (0 = default 3)")
-		perTry   = fs.Duration("per-try-timeout", 0, "deadline per buffered proxy attempt (0 = default 15s)")
-		backoff  = fs.Duration("backoff", 0, "base retry backoff, doubled per retry with jitter (0 = default 50ms)")
-		backMax  = fs.Duration("backoff-max", 0, "retry backoff cap (0 = default 2s)")
-		check    = fs.Duration("check-interval", 500*time.Millisecond, "readyz health-check interval")
-		eject    = fs.Int("eject-after", 0, "consecutive failed checks before ejection (0 = default 2)")
-		readmit  = fs.Int("readmit-after", 0, "consecutive passed checks before re-admission (0 = default 2)")
+		addr      = fs.String("addr", ":8360", "listen address")
+		backends  = fs.String("backends", "", "comma-separated rumord addresses (required)")
+		portFile  = fs.String("port-file", "", "write the bound address here once listening (for process supervisors)")
+		replicas  = fs.Int("replicas", 0, "virtual ring nodes per backend (0 = default 64)")
+		attempts  = fs.Int("attempts", 0, "max attempts per proxied request (0 = default 3)")
+		perTry    = fs.Duration("per-try-timeout", 0, "deadline per buffered proxy attempt (0 = default 15s)")
+		backoff   = fs.Duration("backoff", 0, "base retry backoff, doubled per retry with jitter (0 = default 50ms)")
+		backMax   = fs.Duration("backoff-max", 0, "retry backoff cap (0 = default 2s)")
+		check     = fs.Duration("check-interval", 500*time.Millisecond, "readyz health-check interval")
+		eject     = fs.Int("eject-after", 0, "consecutive failed checks before ejection (0 = default 2)")
+		readmit   = fs.Int("readmit-after", 0, "consecutive passed checks before re-admission (0 = default 2)")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never on the serving port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +79,17 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 		return err
 	}
 	defer g.Close()
+	if *pprofAddr != "" {
+		// Profiling binds its own listener so /debug/pprof/* is reachable
+		// only where the operator pointed it, never on the serving port.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen %s: %w", *pprofAddr, err)
+		}
+		defer pln.Close()
+		log.Printf("rumorgw: pprof on http://%s/debug/pprof/", pln.Addr())
+		go http.Serve(pln, nil) // DefaultServeMux carries the pprof routes
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *addr, err)

@@ -58,6 +58,8 @@ func main() {
 	fs.StringVar(&cfg.rumordBin, "rumord-bin", "", "prebuilt rumord binary (empty = go build one)")
 	fs.StringVar(&cfg.gwBin, "gw-bin", "", "prebuilt rumorgw binary (empty = go build one)")
 	fs.Uint64Var(&cfg.seed, "seed", cfg.seed, "traffic-shape RNG seed")
+	fs.StringVar(&cfg.metricsOut, "metrics-out", cfg.metricsOut, "write the per-run metrics report here (empty = skip)")
+	fs.DurationVar(&cfg.scrape, "scrape-interval", cfg.scrape, "mid-run /metrics scrape interval")
 	fs.BoolVar(&cfg.verbose, "v", false, "pipe process logs to stderr and log every retry")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -69,27 +71,31 @@ func main() {
 }
 
 type config struct {
-	backends  int
-	clients   int
-	kills     int
-	duration  time.Duration
-	down      time.Duration
-	grace     time.Duration
-	rumordBin string
-	gwBin     string
-	seed      uint64
-	verbose   bool
+	backends   int
+	clients    int
+	kills      int
+	duration   time.Duration
+	down       time.Duration
+	grace      time.Duration
+	scrape     time.Duration
+	rumordBin  string
+	gwBin      string
+	seed       uint64
+	metricsOut string
+	verbose    bool
 }
 
 func defaultConfig() config {
 	return config{
-		backends: 3,
-		clients:  6,
-		kills:    2,
-		duration: 30 * time.Second,
-		down:     750 * time.Millisecond,
-		grace:    20 * time.Second,
-		seed:     1,
+		backends:   3,
+		clients:    6,
+		kills:      2,
+		duration:   30 * time.Second,
+		down:       750 * time.Millisecond,
+		grace:      20 * time.Second,
+		scrape:     500 * time.Millisecond,
+		seed:       1,
+		metricsOut: "SOAK_METRICS.json",
 	}
 }
 
@@ -312,6 +318,42 @@ type harness struct {
 
 	recentMu sync.Mutex
 	recent   []string // completed job IDs for poll traffic
+
+	// obs counts the X-Rumord-Source values the clients actually saw,
+	// attributed to the backend X-Rumorgw-Backend names — the ground
+	// truth the metrics invariants compare backend counters against.
+	obsMu sync.Mutex
+	obs   map[string]map[string]int64 // backend addr -> source -> 200s seen
+}
+
+// noteSource records one successful run/sweep response's provenance
+// headers. Responses missing either header (none, in practice) are
+// skipped rather than misattributed.
+func (h *harness) noteSource(hdr http.Header) {
+	src, be := hdr.Get("X-Rumord-Source"), hdr.Get("X-Rumorgw-Backend")
+	if src == "" || be == "" {
+		return
+	}
+	h.obsMu.Lock()
+	if h.obs[be] == nil {
+		h.obs[be] = map[string]int64{}
+	}
+	h.obs[be][src]++
+	h.obsMu.Unlock()
+}
+
+func (h *harness) observedSources() map[string]map[string]int64 {
+	h.obsMu.Lock()
+	defer h.obsMu.Unlock()
+	out := make(map[string]map[string]int64, len(h.obs))
+	for be, m := range h.obs {
+		cp := make(map[string]int64, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[be] = cp
+	}
+	return out
 }
 
 // backendSlot pins one backend's identity: the address survives
@@ -365,6 +407,7 @@ func run(cfg config) error {
 	h := &harness{
 		cfg: cfg, sv: sv, w: w,
 		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+		obs:    map[string]map[string]int64{},
 	}
 
 	// Backends on ephemeral ports; the published address becomes the
@@ -404,7 +447,18 @@ func run(cfg config) error {
 	ctx, cancel := context.WithDeadline(context.Background(), h.deadline)
 	defer cancel()
 
+	// Metrics monitor: scrapes /metrics across the tier for the whole
+	// storm, so the endpoints are exercised under kills, not just after.
+	mon := newMonitor(h.client, h.gwURL, h.backends)
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		mon.loop(ctx, cfg.scrape)
+	}()
+
 	killsDone, restartsDone, killErr := 0, 0, error(nil)
+	var killedAddrs []string // written by the killer, read after wg.Wait
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() { // killer
@@ -416,6 +470,7 @@ func run(cfg config) error {
 				return
 			}
 			victim := h.backends[rng.IntN(len(h.backends))]
+			killedAddrs = append(killedAddrs, victim.addr)
 			if err := h.killAndRestart(victim, rumordBin); err != nil {
 				killErr = err
 				return
@@ -432,11 +487,31 @@ func run(cfg config) error {
 		}(c)
 	}
 	wg.Wait()
+	monWG.Wait()
 	elapsed := time.Since(start)
 
-	// Post-storm accounting: gateway counters and backend dedup sums.
+	// Post-storm accounting: gateway counters, backend dedup sums, and
+	// one final all-targets metrics scrape the exit invariants read.
 	gwStats, gwErr := h.gatewayStats()
 	collapsed := h.backendCollapse()
+	mon.scrapeAll()
+	killed := map[string]bool{}
+	for _, a := range killedAddrs {
+		killed[a] = true
+	}
+	invs := mon.checkInvariants(gwStats, gwErr, killsDone, killed, h.observedSources())
+	failedInvs := 0
+	for _, inv := range invs {
+		if !inv.OK {
+			failedInvs++
+		}
+	}
+	if cfg.metricsOut != "" {
+		rep := mon.buildReport(cfg, killsDone, killedAddrs, h.observedSources(), invs)
+		if err := writeReport(cfg.metricsOut, rep); err != nil {
+			return fmt.Errorf("write %s: %w", cfg.metricsOut, err)
+		}
+	}
 
 	fmt.Printf("soak: done in %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("requests: total=%d runs=%d dups=%d sweeps=%d streams=%d polls=%d\n",
@@ -454,6 +529,18 @@ func run(cfg config) error {
 	}
 	fmt.Printf("backends: kills=%d restarts=%d dedup+cache collapses (surviving counters)=%d\n",
 		killsDone, restartsDone, collapsed)
+	fmt.Printf("metrics: %d invariants, %d failed", len(invs), failedInvs)
+	if cfg.metricsOut != "" {
+		fmt.Printf(" (report: %s)", cfg.metricsOut)
+	}
+	fmt.Println()
+	for _, inv := range invs {
+		if !inv.OK {
+			fmt.Printf("metrics invariant FAILED: %s: %s\n", inv.Name, inv.Detail)
+		} else if cfg.verbose {
+			fmt.Printf("metrics invariant ok: %s: %s\n", inv.Name, inv.Detail)
+		}
+	}
 	for _, m := range h.mismatch {
 		fmt.Printf("mismatch: %s\n", m)
 	}
@@ -471,8 +558,10 @@ func run(cfg config) error {
 		return fmt.Errorf("no requests completed")
 	case h.ctr.dups.Load() > 20 && collapsed == 0:
 		return fmt.Errorf("duplicate specs never collapsed (dedup+cache hits = 0 across backends)")
+	case failedInvs > 0:
+		return fmt.Errorf("%d of %d metrics invariants failed", failedInvs, len(invs))
 	}
-	fmt.Println("soak: PASS — zero drops, every byte identical to the single-process reference")
+	fmt.Println("soak: PASS — zero drops, every byte identical to the single-process reference, all metrics invariants hold")
 	return nil
 }
 
@@ -551,8 +640,9 @@ func (h *harness) killAndRestart(slot *backendSlot, bin string) error {
 	return fmt.Errorf("restart %s: %w", name, lastErr)
 }
 
-// gatewayStats fetches the gateway's counter snapshot.
-func (h *harness) gatewayStats() (stats struct {
+// gwSnapshot is the gateway's /v1/healthz counter block — compared
+// field-for-field against the gateway's own /metrics at exit.
+type gwSnapshot struct {
 	Requests      int64 `json:"requests"`
 	Retries       int64 `json:"retries"`
 	Failovers     int64 `json:"failovers"`
@@ -560,7 +650,10 @@ func (h *harness) gatewayStats() (stats struct {
 	Exhausted     int64 `json:"exhausted"`
 	StreamResumes int64 `json:"streamResumes"`
 	StreamReruns  int64 `json:"streamReruns"`
-}, err error) {
+}
+
+// gatewayStats fetches the gateway's counter snapshot.
+func (h *harness) gatewayStats() (stats gwSnapshot, err error) {
 	resp, err := h.client.Get(h.gwURL + "/v1/healthz")
 	if err != nil {
 		return stats, err
@@ -699,6 +792,7 @@ func (h *harness) doRun(ctx context.Context, rs *refSpec, ctr *atomic.Int64) {
 				return 0, false, fmt.Errorf("bytes diverged from reference (%d vs %d bytes)", len(body), len(rs.ref.Body))
 			}
 			ctr.Add(1)
+			h.noteSource(hdr)
 			h.noteRecent(rs.ref.ID)
 			return 0, true, nil
 		case status == http.StatusServiceUnavailable, status == http.StatusBadGateway, status == http.StatusTooManyRequests:
@@ -722,6 +816,7 @@ func (h *harness) doSweep(ctx context.Context, rs *refSweep) {
 				return 0, false, fmt.Errorf("sweep bytes diverged from reference")
 			}
 			h.ctr.sweeps.Add(1)
+			h.noteSource(hdr)
 			h.noteRecent(rs.ref.ID)
 			return 0, true, nil
 		case status == http.StatusServiceUnavailable, status == http.StatusBadGateway, status == http.StatusTooManyRequests:

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -19,8 +22,28 @@ func TestSoakSmoke(t *testing.T) {
 	cfg.duration = 6 * time.Second
 	cfg.down = 300 * time.Millisecond
 	cfg.grace = 15 * time.Second
+	cfg.metricsOut = filepath.Join(t.TempDir(), "SOAK_METRICS.json")
 	if err := run(cfg); err != nil {
 		t.Fatalf("soak: %v", err)
+	}
+	// The metrics report must exist, parse, and record a passing run
+	// with at least one mid-run scrape per target.
+	b, err := os.ReadFile(cfg.metricsOut)
+	if err != nil {
+		t.Fatalf("metrics report: %v", err)
+	}
+	var rep soakReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("metrics report parse: %v", err)
+	}
+	if !rep.Pass {
+		t.Fatalf("metrics report records failed invariants: %+v", rep.Invariants)
+	}
+	if rep.GatewayScrapes == 0 {
+		t.Fatal("no mid-run gateway scrapes recorded")
+	}
+	if len(rep.BackendState) != cfg.backends {
+		t.Fatalf("report covers %d backends, want %d", len(rep.BackendState), cfg.backends)
 	}
 }
 

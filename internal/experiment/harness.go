@@ -260,6 +260,21 @@ var graphCache = func() *lru.Cache[string, *graph.Graph] {
 // ConfigureGraphStorage).
 var graphStore atomic.Pointer[graph.Store]
 
+// Graph-memo observability: calls and builds through buildDeterministic.
+// Plain atomics with an accessor — the serving layer registers them as
+// func-backed metrics without this package importing a metrics registry.
+var (
+	graphMemoCalls  atomic.Int64
+	graphMemoBuilds atomic.Int64
+)
+
+// GraphMemoStats reports the deterministic-graph memo's lifetime
+// counters: lookups, builds actually invoked (misses), and LRU
+// evictions. Hits are calls − builds.
+func GraphMemoStats() (calls, builds, evictions int64) {
+	return graphMemoCalls.Load(), graphMemoBuilds.Load(), graphCache.Evictions()
+}
+
 // ConfigureGraphStorage routes deterministic graphs through an on-disk
 // content-addressed store rooted at dir (conventionally <data-dir>/graphs,
 // next to the serve layer's result spill): graphs whose CSR is at least
@@ -286,7 +301,9 @@ func ConfigureGraphStorage(dir string, thresholdBytes int64) error {
 // rebuilds after eviction (or restart) a file open instead of a
 // construction.
 func buildDeterministic(key string, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	graphMemoCalls.Add(1)
 	return graphCache.GetOrBuildErr(key, func() (*graph.Graph, error) {
+		graphMemoBuilds.Add(1)
 		if st := graphStore.Load(); st != nil {
 			return st.GetOrBuild(key, build)
 		}

@@ -166,6 +166,8 @@ type Gateway struct {
 	streamResumes atomic.Int64 // streams continued after a mid-stream failure
 	streamReruns  atomic.Int64 // resumes that had to re-create the job first
 
+	m *gwMetrics // /metrics instruments (always on; scrape-time reads)
+
 	stop      chan struct{}
 	closeOnce sync.Once
 	checkerWG sync.WaitGroup
@@ -208,6 +210,7 @@ func New(opts Options) (*Gateway, error) {
 	for _, a := range addrs {
 		g.backends = append(g.backends, newBackend(a))
 	}
+	g.m = newGWMetrics(g)
 	if opts.checkInterval() > 0 {
 		g.checkerWG.Add(1)
 		go g.checkLoop()
@@ -230,6 +233,7 @@ func (g *Gateway) Close() {
 //	GET  /v1/jobs/{id}        routed by ID; 404s fan out around the ring
 //	GET  /v1/jobs/{id}/stream proxied NDJSON; resumes by rerun on failure
 //	GET  /v1/healthz          gateway + per-backend health and counters
+//	GET  /metrics             Prometheus text exposition
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", g.handleRun)
@@ -237,6 +241,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", g.handleStream)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	mux.Handle("GET /metrics", g.m.reg.Handler())
 	return mux
 }
 

@@ -19,11 +19,14 @@ type backend struct {
 	addr string // host:port
 	url  string // http://host:port, no trailing slash
 
-	healthy    atomic.Bool
-	consecFail atomic.Int32
-	consecOK   atomic.Int32
-	ejections  atomic.Int64
-	checks     atomic.Int64
+	healthy      atomic.Bool
+	consecFail   atomic.Int32
+	consecOK     atomic.Int32
+	ejections    atomic.Int64
+	readmissions atomic.Int64
+	checks       atomic.Int64
+	proxyReqs    atomic.Int64 // proxy attempts sent (probes excluded)
+	proxyFails   atomic.Int64 // proxy attempts that failed (errors and 5xx)
 }
 
 func newBackend(addr string) *backend {
@@ -52,8 +55,8 @@ func (b *backend) noteSuccess(readmitAfter int) {
 		b.consecOK.Store(0)
 		return
 	}
-	if int(b.consecOK.Add(1)) >= readmitAfter {
-		b.healthy.CompareAndSwap(false, true)
+	if int(b.consecOK.Add(1)) >= readmitAfter && b.healthy.CompareAndSwap(false, true) {
+		b.readmissions.Add(1)
 	}
 }
 

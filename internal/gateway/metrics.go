@@ -1,0 +1,103 @@
+// Metrics instrumentation for the gateway: the counters the gateway
+// already keeps (requests, retries, failovers, shed, stream resumes)
+// surface as func-backed series — one source of truth, read at scrape
+// time — plus per-backend attempt/failure/ejection/readmission series
+// and per-route latency histograms, rendered on GET /metrics.
+package gateway
+
+import (
+	"time"
+
+	"rumor/internal/metrics"
+)
+
+// reqBuckets spans gateway request latency: 1ms (a warm cache replay)
+// up to ~17min (a paper-scale simulation waited on synchronously).
+var reqBuckets = metrics.ExpBuckets(0.001, 2, 21)
+
+// gwRoutes are the label values of rumorgw_request_seconds, one per
+// proxied endpoint.
+var gwRoutes = []string{"run", "sweep", "job", "stream"}
+
+// gwMetrics bundles the gateway's instruments.
+type gwMetrics struct {
+	reg     *metrics.Registry
+	byRoute map[string]*metrics.Histogram
+}
+
+// newGWMetrics builds the registry for g, pre-resolving every child
+// series so the full inventory exists from boot.
+func newGWMetrics(g *Gateway) *gwMetrics {
+	reg := metrics.NewRegistry()
+	m := &gwMetrics{reg: reg}
+
+	reg.CounterFunc("rumorgw_requests_total", "Proxied requests accepted for routing.",
+		func() float64 { return float64(g.requests.Load()) })
+	reg.CounterFunc("rumorgw_retries_total", "Extra proxy attempts after a failed one.",
+		func() float64 { return float64(g.retries.Load()) })
+	reg.CounterFunc("rumorgw_failovers_total", "Retries that moved to a different backend.",
+		func() float64 { return float64(g.failovers.Load()) })
+	reg.CounterFunc("rumorgw_shed_total", "Load-shed 503s for keys with no healthy backend.",
+		func() float64 { return float64(g.shed.Load()) })
+	reg.CounterFunc("rumorgw_exhausted_total", "502s after every attempt failed.",
+		func() float64 { return float64(g.exhausted.Load()) })
+	reg.CounterFunc("rumorgw_stream_resumes_total", "Streams continued after a mid-stream failure.",
+		func() float64 { return float64(g.streamResumes.Load()) })
+	reg.CounterFunc("rumorgw_stream_reruns_total", "Stream resumes that re-created the job first.",
+		func() float64 { return float64(g.streamReruns.Load()) })
+
+	reg.GaugeFunc("rumorgw_ring_backends", "Backends configured on the ring.",
+		func() float64 { return float64(len(g.backends)) })
+	reg.GaugeFunc("rumorgw_healthy_backends", "Backends currently admitted by the health checker.",
+		func() float64 {
+			n := 0
+			for _, b := range g.backends {
+				if b.healthy.Load() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+
+	beReqs := reg.CounterVec("rumorgw_backend_requests_total",
+		"Buffered proxy attempts sent to each backend (streams and probes excluded).", "backend")
+	beFails := reg.CounterVec("rumorgw_backend_failures_total",
+		"Buffered proxy attempts that failed per backend (errors and 5xx).", "backend")
+	beEject := reg.CounterVec("rumorgw_backend_ejections_total",
+		"Times each backend was ejected from rotation.", "backend")
+	beReadmit := reg.CounterVec("rumorgw_backend_readmissions_total",
+		"Times each ejected backend was readmitted.", "backend")
+	beChecks := reg.CounterVec("rumorgw_backend_checks_total",
+		"Active health probes per backend.", "backend")
+	beHealthy := reg.GaugeVec("rumorgw_backend_healthy",
+		"1 while the backend is admitted by the health checker.", "backend")
+	for _, b := range g.backends {
+		b := b
+		beReqs.Func(func() float64 { return float64(b.proxyReqs.Load()) }, b.addr)
+		beFails.Func(func() float64 { return float64(b.proxyFails.Load()) }, b.addr)
+		beEject.Func(func() float64 { return float64(b.ejections.Load()) }, b.addr)
+		beReadmit.Func(func() float64 { return float64(b.readmissions.Load()) }, b.addr)
+		beChecks.Func(func() float64 { return float64(b.checks.Load()) }, b.addr)
+		beHealthy.Func(func() float64 {
+			if b.healthy.Load() {
+				return 1
+			}
+			return 0
+		}, b.addr)
+	}
+
+	seconds := reg.HistogramVec("rumorgw_request_seconds",
+		"Wall-clock duration of proxied requests by route.", reqBuckets, "route")
+	m.byRoute = make(map[string]*metrics.Histogram, len(gwRoutes))
+	for _, route := range gwRoutes {
+		m.byRoute[route] = seconds.With(route)
+	}
+	return m
+}
+
+// timeRoute returns a func that observes the elapsed time under route
+// when called — `defer g.m.timeRoute("run")()` at the top of a handler.
+func (m *gwMetrics) timeRoute(route string) func() {
+	start := time.Now()
+	return func() { m.byRoute[route].Observe(time.Since(start).Seconds()) }
+}

@@ -1,0 +1,138 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rumor/internal/metrics"
+)
+
+// scrapeGW fetches and parses the gateway's /metrics.
+func scrapeGW(t *testing.T, url string) *metrics.Scrape {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	sc, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	return sc
+}
+
+// TestGatewayMetrics drives a proxied request plus a failing backend and
+// checks the scrape: func-backed counters agree with Snapshot, per-
+// backend series carry the backend label, and the route histogram is
+// populated and internally valid.
+func TestGatewayMetrics(t *testing.T) {
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	}))
+	defer ok.Close()
+	dead := deadAddr(t)
+	g := newGateway(t, Options{
+		Backends:    []string{hostPort(t, ok.URL), dead},
+		Attempts:    4,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// Boot inventory: every series exists before traffic, including both
+	// backends' children and all four route histograms.
+	sc := scrapeGW(t, ts.URL)
+	for _, name := range []string{
+		"rumorgw_requests_total", "rumorgw_retries_total", "rumorgw_failovers_total",
+		"rumorgw_shed_total", "rumorgw_exhausted_total", "rumorgw_stream_resumes_total",
+		"rumorgw_ring_backends", "rumorgw_healthy_backends",
+	} {
+		if !sc.Has(name, nil) {
+			t.Fatalf("series %s missing from boot scrape", name)
+		}
+	}
+	for _, addr := range []string{hostPort(t, ok.URL), dead} {
+		if !sc.Has("rumorgw_backend_requests_total", map[string]string{"backend": addr}) {
+			t.Fatalf("backend %s missing from rumorgw_backend_requests_total", addr)
+		}
+	}
+	for _, route := range gwRoutes {
+		if !sc.Has("rumorgw_request_seconds_bucket", map[string]string{"route": route}) {
+			t.Fatalf("route %q histogram missing from boot scrape", route)
+		}
+	}
+	if v, _ := sc.Value("rumorgw_ring_backends", nil); v != 2 {
+		t.Fatalf("ring_backends = %v, want 2", v)
+	}
+
+	// Traffic: proxied runs until one lands on the dead backend's key
+	// space or succeeds directly; either way requests/attempts move.
+	for i := 0; i < 4; i++ {
+		body := strings.NewReader(`{"graph":"star:16","protocol":"push","trials":2,"seed":` + string(rune('1'+i)) + `}`)
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	sc = scrapeGW(t, ts.URL)
+	snap := g.Snapshot()
+	if v, _ := sc.Value("rumorgw_requests_total", nil); int64(v) != snap.Requests {
+		t.Fatalf("metrics requests %v != snapshot %d", v, snap.Requests)
+	}
+	if v, _ := sc.Value("rumorgw_retries_total", nil); int64(v) != snap.Retries {
+		t.Fatalf("metrics retries %v != snapshot %d", v, snap.Retries)
+	}
+	if sc.Sum("rumorgw_backend_requests_total") < 4 {
+		t.Fatalf("backend attempts = %v, want >= 4", sc.Sum("rumorgw_backend_requests_total"))
+	}
+	n, err := sc.CheckHistogram("rumorgw_request_seconds", map[string]string{"route": "run"})
+	if err != nil {
+		t.Fatalf("run histogram: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("run histogram count = %d, want 4", n)
+	}
+}
+
+// TestGatewayMetricsEjection pins the ejection/readmission series
+// against a backend that dies and recovers under the active checker.
+func TestGatewayMetricsEjection(t *testing.T) {
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	addr := hostPort(t, flaky.URL)
+	g := newGateway(t, Options{
+		Backends:      []string{addr},
+		CheckInterval: 10 * time.Millisecond,
+		EjectAfter:    2,
+		ReadmitAfter:  2,
+	})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+	waitUntil(t, "ejection", func() bool { return !g.backends[0].healthy.Load() })
+	flaky.Close()
+
+	sc := scrapeGW(t, ts.URL)
+	if v, _ := sc.Value("rumorgw_backend_ejections_total", map[string]string{"backend": addr}); v < 1 {
+		t.Fatalf("ejections = %v, want >= 1", v)
+	}
+	if v, _ := sc.Value("rumorgw_backend_healthy", map[string]string{"backend": addr}); v != 0 {
+		t.Fatalf("backend_healthy = %v, want 0 after ejection", v)
+	}
+	if v, _ := sc.Value("rumorgw_healthy_backends", nil); v != 0 {
+		t.Fatalf("healthy_backends = %v, want 0", v)
+	}
+	if v, _ := sc.Value("rumorgw_backend_checks_total", map[string]string{"backend": addr}); v < 2 {
+		t.Fatalf("checks = %v, want >= 2", v)
+	}
+}

@@ -113,7 +113,11 @@ func (g *Gateway) attemptProxy(ctx context.Context, cands []*backend, method, pa
 			g.failovers.Add(1)
 		}
 		prev = b
+		b.proxyReqs.Add(1)
 		resp, err := g.once(ctx, b, method, path, rawQuery, body)
+		if err != nil || (resp != nil && resp.status >= 500) {
+			b.proxyFails.Add(1)
+		}
 		switch {
 		case err != nil:
 			b.noteFailure(g.opts.ejectAfter())
@@ -256,6 +260,7 @@ func decodeStrict(body []byte, v any) error {
 // handleRun proxies POST /v1/run: derive the job ID the backend will
 // derive, remember the request for stream rerun, route by the ID.
 func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
+	defer g.m.timeRoute("run")()
 	body, err := readBody(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -279,6 +284,7 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 // handleSweep proxies POST /v1/sweep, keyed by the sweep job ID so the
 // whole sweep — and every poll or stream of it — lands on one backend.
 func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	defer g.m.timeRoute("sweep")()
 	body, err := readBody(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -308,6 +314,7 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 // change, or a failover re-ran it), so 404s walk the whole ring before
 // the gateway reports one.
 func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
+	defer g.m.timeRoute("job")()
 	id := r.PathValue("id")
 	g.proxyBuffered(w, r, id, "/v1/jobs/"+id, nil, proxyPolicy{
 		attempts:  g.opts.attempts(),

@@ -28,6 +28,7 @@ type streamState struct {
 // (resume-by-rerun), skip the frames the client already has, and keep
 // going — the client sees one seamless, complete stream.
 func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	defer g.m.timeRoute("stream")()
 	g.requests.Add(1)
 	id := r.PathValue("id")
 	cands, down := g.candidates(id)

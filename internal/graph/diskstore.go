@@ -6,7 +6,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
+
+// Store observability: package-level atomics with an accessor, so the
+// serving layer can register them as func-backed metrics without this
+// package depending on a metrics registry.
+var (
+	storeOpens  atomic.Int64 // spilled CSR files reopened mmap-backed
+	storeBuilds atomic.Int64 // graphs built because no valid file existed
+	storeSpills atomic.Int64 // built graphs encoded to disk
+)
+
+// StoreStats reports the lifetime counters of every Store in the
+// process: mmap-backed opens of spilled files, builds invoked on store
+// misses, and successful spill writes.
+func StoreStats() (opens, builds, spills int64) {
+	return storeOpens.Load(), storeBuilds.Load(), storeSpills.Load()
+}
 
 // Store is a content-addressed on-disk tier for deterministic graphs.
 //
@@ -68,6 +85,7 @@ func (s *Store) shouldSpill(g *Graph) bool {
 func (s *Store) GetOrBuild(key string, build func() (*Graph, error)) (*Graph, error) {
 	path := s.Path(key)
 	if g, err := OpenCSRFile(path); err == nil {
+		storeOpens.Add(1)
 		return g, nil
 	} else if !os.IsNotExist(err) {
 		// A file exists but didn't decode (torn write from a crash,
@@ -78,13 +96,16 @@ func (s *Store) GetOrBuild(key string, build func() (*Graph, error)) (*Graph, er
 	if err != nil {
 		return nil, err
 	}
+	storeBuilds.Add(1)
 	if !s.shouldSpill(g) {
 		return g, nil
 	}
 	if err := WriteCSRFile(g, path); err != nil {
 		return g, nil
 	}
+	storeSpills.Add(1)
 	if m, err := OpenCSRFile(path); err == nil {
+		storeOpens.Add(1)
 		return m, nil
 	}
 	return g, nil

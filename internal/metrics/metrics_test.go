@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTextRenderingStable pins the exposition format end to end: family
+// ordering by name, child ordering by label values, HELP/TYPE lines,
+// integer counters, float gauges, and func-backed series — and that two
+// renders of identical state are byte-identical.
+func TestTextRenderingStable(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of name order.
+	zq := r.Counter("zz_total", "last family")
+	zq.Add(7)
+	v := r.CounterVec("aa_total", "first family", "proto", "tier")
+	v.With("push", "mem").Add(2)
+	v.With("hybrid", "disk").Inc()
+	g := r.Gauge("mm_gauge", "a gauge")
+	g.Set(1.5)
+	r.GaugeFunc("mm_func", "func gauge", func() float64 { return 42 })
+	r.CounterFunc("mm_cfunc", "func counter", func() float64 { return 3 })
+
+	var b1, b2 strings.Builder
+	if err := r.WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("two renders of identical state differ:\n%s\n----\n%s", b1.String(), b2.String())
+	}
+	want := `# HELP aa_total first family
+# TYPE aa_total counter
+aa_total{proto="hybrid",tier="disk"} 1
+aa_total{proto="push",tier="mem"} 2
+# HELP mm_cfunc func counter
+# TYPE mm_cfunc counter
+mm_cfunc 3
+# HELP mm_func func gauge
+# TYPE mm_func gauge
+mm_func 42
+# HELP mm_gauge a gauge
+# TYPE mm_gauge gauge
+mm_gauge 1.5
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total 7
+`
+	if b1.String() != want {
+		t.Fatalf("rendering mismatch:\ngot:\n%s\nwant:\n%s", b1.String(), want)
+	}
+}
+
+// TestLabelEscaping pins backslash, quote, and newline escaping in
+// label values (and that the parser round-trips them).
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "", "path")
+	hostile := `C:\dir "quoted"` + "\nline2"
+	v.With(hostile).Add(5)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="C:\\dir \"quoted\"\nline2"} 5` + "\n"
+	if got := b.String(); !strings.Contains(got, want) {
+		t.Fatalf("escaping mismatch:\ngot %q\nwant a line %q", got, want)
+	}
+	sc, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse rendered output: %v", err)
+	}
+	got, ok := sc.Value("esc_total", map[string]string{"path": hostile})
+	if !ok || got != 5 {
+		t.Fatalf("round-trip: got %v ok=%v, want 5", got, ok)
+	}
+}
+
+// TestHistogramInvariants pins the bucket layout: cumulative counts,
+// monotone in le, +Inf present, _count == +Inf bucket, _sum equals the
+// observed sum — via both the rendered text and the parser's checker.
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="10"} 4
+lat_seconds_bucket{le="+Inf"} 5
+lat_seconds_sum 56.05
+lat_seconds_count 5
+`
+	if b.String() != want {
+		t.Fatalf("histogram rendering:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+	sc, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sc.CheckHistogram("lat_seconds", nil)
+	if err != nil || n != 5 {
+		t.Fatalf("CheckHistogram = %d, %v; want 5, nil", n, err)
+	}
+}
+
+// TestHistogramBucketEdges pins the le semantics: an observation equal
+// to a bound lands in that bound's bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge", "", []float64{1, 2})
+	h.Observe(1) // exactly on the first bound: le="1" counts it
+	h.Observe(2)
+	h.Observe(2.1)
+	var b strings.Builder
+	r.WriteText(&b)
+	for _, line := range []string{
+		`edge_bucket{le="1"} 1`, `edge_bucket{le="2"} 2`, `edge_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestHistogramVecChildren pins per-label histogram children and that
+// the checker validates each child independently.
+func TestHistogramVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("sim_seconds", "", ExpBuckets(0.001, 2, 4), "protocol")
+	v.With("push").Observe(0.002)
+	v.With("push").Observe(0.01)
+	v.With("visitx").Observe(0.5)
+	var b strings.Builder
+	r.WriteText(&b)
+	sc, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := sc.CheckHistogram("sim_seconds", map[string]string{"protocol": "push"}); err != nil || n != 2 {
+		t.Fatalf("push child: %d, %v", n, err)
+	}
+	if n, err := sc.CheckHistogram("sim_seconds", map[string]string{"protocol": "visitx"}); err != nil || n != 1 {
+		t.Fatalf("visitx child: %d, %v", n, err)
+	}
+	if got := sc.LabelValues("sim_seconds_bucket", "protocol"); len(got) != 2 || got[0] != "push" || got[1] != "visitx" {
+		t.Fatalf("LabelValues = %v", got)
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge, and one
+// histogram child from many goroutines (run under -race in CI) while a
+// scraper renders concurrently, then checks the totals.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	v := r.CounterVec("v_total", "", "k")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExpBuckets(1, 2, 8))
+	const workers, perWorker = 8, 2000
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper racing the writers
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := r.WriteText(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			child := v.With("shared") // lazy resolution racing across workers
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				child.Add(2)
+				g.Add(1)
+				h.Observe(float64(i%100) + 0.5)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got, want := c.Value(), int64(workers*perWorker); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got, want := v.With("shared").Value(), int64(2*workers*perWorker); got != want {
+		t.Fatalf("vec counter = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), float64(workers*perWorker); got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+	if got, want := h.Count(), int64(workers*perWorker); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestNilSafety pins the disable-by-nil contract every instrumented
+// layer leans on for overhead benchmarking.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+// TestRegistrationPanics pins the programmer-error contract.
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	for name, fn := range map[string]func(){
+		"duplicate":        func() { r.Counter("ok_total", "") },
+		"bad metric name":  func() { r.Counter("1bad", "") },
+		"bad label name":   func() { r.CounterVec("v1_total", "", "0bad") },
+		"reserved le":      func() { r.HistogramVec("h1", "", []float64{1}, "le") },
+		"empty buckets":    func() { r.Histogram("h2", "", nil) },
+		"unsorted buckets": func() { r.Histogram("h3", "", []float64{2, 1}) },
+		"label arity":      func() { r.CounterVec("v2_total", "", "a").With("x", "y") },
+		"counter negative": func() { r.Counter("neg_total", "").Add(-1) },
+		"bad expbuckets":   func() { ExpBuckets(0, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHandler pins the HTTP surface: content type and body.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help").Add(9)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 9\n") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+// TestFormatFloat pins the special float spellings shared by renderer
+// and parser.
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		0:            "0",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Error("NaN spelling")
+	}
+	for _, s := range []string{"+Inf", "Inf", "-Inf", "NaN", "2.5"} {
+		if _, err := parseValue(s); err != nil {
+			t.Errorf("parseValue(%q): %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line. Histogram series surface under
+// their synthetic names (name_bucket with an "le" label, name_sum,
+// name_count) — the standard flattening scrapers consume.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for a label name ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Scrape is a parsed /metrics payload with lookup helpers — what
+// cmd/soak and the CI smoke assertions work against.
+type Scrape struct {
+	Samples []Sample
+}
+
+// ParseText parses the Prometheus text exposition format produced by
+// Registry.WriteText (and by any standard exporter): comment lines are
+// skipped, samples are name{label="value",...} value. Timestamps and
+// exemplars are not supported — the in-house renderer never emits them.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	out := &Scrape{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	// Name runs to the first '{' or space.
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := -1
+		// Scan for the closing brace outside quoted values.
+		inQuote, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case c == '\\' && inQuote:
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				close = i
+			}
+			if close >= 0 {
+				break
+			}
+		}
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:close], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	// Ignore a trailing timestamp if some foreign exporter added one.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return inf(1), nil
+	case "-Inf":
+		return inf(-1), nil
+	case "NaN":
+		return nan(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair near %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		var b strings.Builder
+		i := 1
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		into[name] = b.String()
+		s = strings.TrimSpace(s[i+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// Value returns the sample matching name and every given label pair
+// (extra labels on the sample are allowed). ok is false when no sample
+// matches; multiple matches return their sum (e.g. Value("x") over a
+// labeled family sums every child).
+func (sc *Scrape) Value(name string, labels map[string]string) (v float64, ok bool) {
+	for _, s := range sc.Samples {
+		if s.Name != name || !matches(s, labels) {
+			continue
+		}
+		v += s.Value
+		ok = true
+	}
+	return v, ok
+}
+
+// Sum is Value with no label filter, defaulting to 0 when absent.
+func (sc *Scrape) Sum(name string) float64 {
+	v, _ := sc.Value(name, nil)
+	return v
+}
+
+// Has reports whether any sample matches name and the label filter.
+func (sc *Scrape) Has(name string, labels map[string]string) bool {
+	_, ok := sc.Value(name, labels)
+	return ok
+}
+
+// Select returns the samples matching name and the label filter.
+func (sc *Scrape) Select(name string, labels map[string]string) []Sample {
+	var out []Sample
+	for _, s := range sc.Samples {
+		if s.Name == name && matches(s, labels) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LabelValues returns the sorted distinct values of label across every
+// sample of name.
+func (sc *Scrape) LabelValues(name, label string) []string {
+	seen := map[string]bool{}
+	for _, s := range sc.Samples {
+		if s.Name != name {
+			continue
+		}
+		if v, ok := s.Labels[label]; ok {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckHistogram validates the exposition invariants of the histogram
+// family name filtered by labels: at least one bucket, cumulative
+// bucket counts monotone in le order, an +Inf bucket present, and
+// name_count equal to the +Inf bucket. It returns the total count.
+func (sc *Scrape) CheckHistogram(name string, labels map[string]string) (count int64, err error) {
+	buckets := sc.Select(name+"_bucket", labels)
+	if len(buckets) == 0 {
+		return 0, fmt.Errorf("histogram %s%v: no buckets", name, labels)
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		bi, _ := parseValue(buckets[i].Label("le"))
+		bj, _ := parseValue(buckets[j].Label("le"))
+		return bi < bj
+	})
+	prev := int64(-1)
+	var infCount int64
+	sawInf := false
+	for _, b := range buckets {
+		le := b.Label("le")
+		if le == "" {
+			return 0, fmt.Errorf("histogram %s: bucket without le label", name)
+		}
+		c := int64(b.Value)
+		if c < prev {
+			return 0, fmt.Errorf("histogram %s: bucket le=%s count %d below previous %d", name, le, c, prev)
+		}
+		prev = c
+		if le == "+Inf" {
+			sawInf, infCount = true, c
+		}
+	}
+	if !sawInf {
+		return 0, fmt.Errorf("histogram %s: no +Inf bucket", name)
+	}
+	total, ok := sc.Value(name+"_count", labels)
+	if !ok {
+		return 0, fmt.Errorf("histogram %s: no _count", name)
+	}
+	if int64(total) != infCount {
+		return 0, fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", name, int64(total), infCount)
+	}
+	if !sc.Has(name+"_sum", labels) {
+		return 0, fmt.Errorf("histogram %s: no _sum", name)
+	}
+	return infCount, nil
+}
+
+func matches(s Sample, labels map[string]string) bool {
+	for k, v := range labels {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func inf(sign int) float64 {
+	if sign >= 0 {
+		return pinf
+	}
+	return ninf
+}
+
+var (
+	pinf = func() float64 { f, _ := strconv.ParseFloat("+Inf", 64); return f }()
+	ninf = -pinf
+)
+
+func nan() float64 { f, _ := strconv.ParseFloat("NaN", 64); return f }

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseTextErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"no value":          "just_a_name",
+		"bad name":          `9bad{a="b"} 1`,
+		"unterminated set":  `m{a="b" 1`,
+		"missing equals":    `m{ab} 1`,
+		"bad label name":    `m{9x="b"} 1`,
+		"unquoted value":    `m{a=b} 1`,
+		"bad escape":        `m{a="\t"} 1`,
+		"unterminated val":  `m{a="b} 1`,
+		"empty after set":   `m{a="b"}`,
+		"non-numeric value": `m{a="b"} zebra`,
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseText(%q) succeeded, want error", name, in)
+		}
+	}
+}
+
+func TestParseTextLenient(t *testing.T) {
+	in := "# HELP x h\n# TYPE x counter\n\nx 4 1690000000\ny{a=\"b\" , c=\"d\"} +Inf\n"
+	sc, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("x", nil); !ok || v != 4 {
+		t.Fatalf("x = %v ok=%v", v, ok)
+	}
+	s := sc.Select("y", map[string]string{"a": "b", "c": "d"})
+	if len(s) != 1 || !math.IsInf(s[0].Value, 1) {
+		t.Fatalf("y select = %+v", s)
+	}
+}
+
+func TestCheckHistogramErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"no buckets":     "other 1\n",
+		"non-monotone":   "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"no inf":         "h_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"count mismatch": "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n",
+		"no count":       "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\n",
+		"no sum":         "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+	} {
+		sc, err := ParseText(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := sc.CheckHistogram("h", nil); err == nil {
+			t.Errorf("%s: CheckHistogram succeeded, want error", name)
+		}
+	}
+}
+
+func TestScrapeHelpers(t *testing.T) {
+	in := "a{k=\"1\"} 2\na{k=\"2\"} 3\nb 7\n"
+	sc, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Sum("a"); got != 5 {
+		t.Fatalf("Sum(a) = %v", got)
+	}
+	if sc.Has("missing", nil) {
+		t.Fatal("Has(missing) = true")
+	}
+	if got := sc.Samples[0].Label("k"); got != "1" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := sc.LabelValues("a", "k"); len(got) != 2 {
+		t.Fatalf("LabelValues = %v", got)
+	}
+}

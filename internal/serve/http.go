@@ -22,6 +22,12 @@ const maxBodyBytes = 1 << 20
 //	GET  /v1/jobs/{id}/stream NDJSON results, replay + follow
 //	GET  /v1/healthz          liveness + counters (200 while the process serves)
 //	GET  /v1/readyz           readiness: 200 with queue headroom, 503 once draining
+//	GET  /metrics             Prometheus text exposition (unless DisableMetrics)
+//
+// Like /v1/healthz, /metrics answers 200 while the server drains — only
+// intake (run/sweep submissions, via readyz for routers) is refused, so
+// operators can watch a drain complete through the same scrape that
+// watched the server live.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -30,6 +36,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	if s.m != nil {
+		mux.Handle("GET /metrics", s.m.reg.Handler())
+	}
 	return mux
 }
 
@@ -109,7 +118,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	id, j, c, src, err := s.submit(spec)
 	if err != nil {
-		writeError(w, submitStatus(err), "%v", err)
+		status := submitStatus(err)
+		if status == http.StatusInternalServerError {
+			s.m.countInternalError()
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	w.Header().Set("X-Rumord-Job", id)
@@ -204,8 +217,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Scheduling has side effects; report the points resolved before
 		// the rejection so the caller can track simulations already running.
+		status := submitStatus(err)
+		if status == http.StatusInternalServerError {
+			s.m.countInternalError()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(submitStatus(err))
+		w.WriteHeader(status)
 		w.Write(mustMarshalLine(struct {
 			Error string       `json:"error"`
 			Plan  []sweepPoint `json:"plan"`
@@ -296,6 +313,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %s", id)
 		return
 	}
+	defer s.m.streamOpen()()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Rumord-Job", id)
 	flusher, _ := w.(http.Flusher)

@@ -128,6 +128,9 @@ func (s *Server) submitSweep(points []experiment.SweepPoint) (id string, j *Job,
 	for i, pt := range points {
 		_, pj, pc, psrc, perr := s.submitWithID(ids[i], pt.Spec)
 		if perr != nil {
+			// The failing point counted its own rejection; this counts the
+			// sweep request itself, keeping the conservation law exact.
+			s.m.countRejection(perr)
 			return "", nil, nil, "", plan, perr
 		}
 		plan.points = append(plan.points, plannedPoint{spec: pt.Spec, id: ids[i], hit: pc, job: pj, src: psrc})
@@ -144,6 +147,7 @@ func (s *Server) submitSweep(points []experiment.SweepPoint) (id string, j *Job,
 	s.lifecycle.RLock()
 	if s.draining {
 		s.lifecycle.RUnlock()
+		s.m.countRejection(ErrDraining)
 		return "", nil, nil, "", plan, ErrDraining
 	}
 	sh := s.store.shardFor(id)
@@ -155,12 +159,14 @@ func (s *Server) submitSweep(points []experiment.SweepPoint) (id string, j *Job,
 		sh.mu.Unlock()
 		s.lifecycle.RUnlock()
 		s.dedupHits.Add(1)
+		s.m.countSource(sourceDedup)
 		return id, ex, nil, sourceDedup, nil, nil
 	}
 	if c, ok := sh.cache.Get(id); ok {
 		sh.mu.Unlock()
 		s.lifecycle.RUnlock()
 		s.cacheHits.Add(1)
+		s.m.countSource(sourceCache)
 		return id, nil, c, sourceCache, nil, nil
 	}
 	sh.jobs[id] = sj
@@ -168,6 +174,8 @@ func (s *Server) submitSweep(points []experiment.SweepPoint) (id string, j *Job,
 	sh.mu.Unlock()
 	s.lifecycle.RUnlock()
 	s.sweeps.Add(1)
+	s.m.countSource(sourceRun)
+	s.m.countPlan(plan)
 	go s.runSweep(sj)
 	return id, sj, nil, sourceRun, plan, nil
 }

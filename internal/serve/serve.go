@@ -56,6 +56,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rumor/internal/core"
 	"rumor/internal/experiment"
@@ -87,6 +88,10 @@ type Options struct {
 	// LRU evicts persist as content-addressed files there and are replayed
 	// byte-identically — including across restarts on the same directory.
 	DataDir string
+	// DisableMetrics skips the /metrics registry entirely: every
+	// instrument becomes a nil no-op. Exists so the instrumentation's
+	// hot-path cost is itself measurable (cmd/bench -serve-overhead).
+	DisableMetrics bool
 }
 
 func (o Options) workers() int {
@@ -175,6 +180,11 @@ type Server struct {
 	cacheHits   atomic.Int64
 	failures    atomic.Int64
 	sweeps      atomic.Int64
+	runningJobs atomic.Int64 // simulations executing right now (worker occupancy)
+
+	// m holds the /metrics instruments; nil (every hook a no-op) with
+	// Options.DisableMetrics.
+	m *serveMetrics
 
 	// testRunGate, when set (tests only), runs at the top of each
 	// simulation; blocking it holds jobs in the running state so tests can
@@ -197,6 +207,9 @@ func New(opts Options) (*Server, error) {
 		opts:  opts,
 		store: newStore(opts.shards(), opts.cacheSize(), sp),
 		queue: make(chan *Job, opts.queueSize()),
+	}
+	if !opts.DisableMetrics {
+		s.m = newServeMetrics(s)
 	}
 	for i := 0; i < opts.workers(); i++ {
 		s.workerWG.Add(1)
@@ -298,7 +311,9 @@ func (s *Server) countHit(src source) {
 	case sourceCache:
 		s.cacheHits.Add(1)
 	}
-	// Disk hits are counted by the spill tier itself.
+	// Disk hits are counted by the spill tier itself; the by-source
+	// metric covers all three.
+	s.m.countSource(src)
 }
 
 // schedule queues a fresh job under the lifecycle guard, re-checking the
@@ -308,6 +323,7 @@ func (s *Server) schedule(id string, fresh *Job) (string, *Job, *completedJob, s
 	s.lifecycle.RLock()
 	defer s.lifecycle.RUnlock()
 	if s.draining {
+		s.m.countRejection(ErrDraining)
 		return "", nil, nil, "", ErrDraining
 	}
 	sh := s.store.shardFor(id)
@@ -317,19 +333,23 @@ func (s *Server) schedule(id string, fresh *Job) (string, *Job, *completedJob, s
 	// request may have registered, or even completed, meanwhile.
 	if j, ok := sh.jobs[id]; ok {
 		s.dedupHits.Add(1)
+		s.m.countSource(sourceDedup)
 		return id, j, nil, sourceDedup, nil
 	}
 	if c, ok := sh.cache.Get(id); ok {
 		s.cacheHits.Add(1)
+		s.m.countSource(sourceCache)
 		return id, nil, c, sourceCache, nil
 	}
 	select {
 	case s.queue <- fresh:
 	default:
+		s.m.countRejection(ErrBusy)
 		return "", nil, nil, "", ErrBusy
 	}
 	sh.jobs[id] = fresh
 	s.jobsWG.Add(1)
+	s.m.countSource(sourceRun)
 	return id, fresh, nil, sourceRun, nil
 }
 
@@ -360,6 +380,9 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.setRunning()
 	s.simulations.Add(1)
+	s.runningJobs.Add(1)
+	defer s.runningJobs.Add(-1)
+	start := time.Now()
 	g, src, err := j.Spec.Build()
 	if err != nil {
 		s.finish(j, nil, err)
@@ -372,6 +395,9 @@ func (s *Server) runJob(j *Job) {
 		s.finish(j, nil, err)
 		return
 	}
+	// Only completed simulations are observed: failures abort at
+	// arbitrary points and would pollute the latency distribution.
+	s.m.observeSim(j.Spec.Protocol, time.Since(start).Seconds())
 	s.finish(j, mustMarshalLine(buildRunResponse(j.Spec, g, src, results)), nil)
 }
 

@@ -24,12 +24,14 @@ import (
 // shortcut (the engines recompute bit-identical bytes), so errors are
 // counted, not fatal.
 type spill struct {
-	dir      string
-	mu       sync.Mutex   // serializes the stat+rename publish step (accounting only)
-	writes   atomic.Int64 // files persisted (including overwrites)
-	hits     atomic.Int64 // lookups served from disk
-	errors   atomic.Int64 // failed writes/reads (corrupt files count here)
-	resident atomic.Int64 // valid entries on disk (scanned at open, then tracked)
+	dir        string
+	mu         sync.Mutex   // serializes the stat+rename publish step (accounting only)
+	writes     atomic.Int64 // files persisted (including overwrites)
+	writeBytes atomic.Int64 // payload bytes persisted
+	hits       atomic.Int64 // lookups served from disk
+	readBytes  atomic.Int64 // payload bytes replayed from disk
+	errors     atomic.Int64 // failed writes/reads (corrupt files count here)
+	resident   atomic.Int64 // valid entries on disk (scanned at open, then tracked)
 }
 
 // spillEntry is the on-disk form of a completedJob. []byte fields
@@ -150,6 +152,7 @@ func (sp *spill) write(id string, c *completedJob) {
 		return
 	}
 	sp.writes.Add(1)
+	sp.writeBytes.Add(int64(len(b)))
 }
 
 // read loads the payload spilled for id, if any. Corrupt entries (a torn
@@ -170,6 +173,7 @@ func (sp *spill) read(id string) (*completedJob, bool) {
 		return nil, false
 	}
 	sp.hits.Add(1)
+	sp.readBytes.Add(int64(len(b)))
 	return &completedJob{
 		resp: e.Resp, lines: e.Lines, final: e.Final, trials: e.Trials, points: e.Points,
 	}, true
