@@ -1,11 +1,15 @@
 // Giant-graph mode: the out-of-core acceptance harness. For each
-// requested size it builds a star through the streaming two-pass path,
-// samples the build's peak heap against the final CSR footprint (the
-// streaming builder's contract is peak <= ~1.1x the resident graph),
-// spills the graph through the content-addressed disk store, reopens it
-// mmap-backed, and replays a fixed-seed push sweep on both copies — the
-// two result sets must be identical. Violations exit nonzero, so CI can
-// run this under GOMEMLIMIT as the giant-graph smoke gate.
+// requested point (star sizes via -giant-sizes, arbitrary specs — random
+// families included — via -giant-specs) it builds the graph through the
+// streaming two-pass path, samples the build's peak heap against the
+// final CSR footprint (the streaming builder's contract is peak <= ~1.1x
+// the resident graph), spills the graph through the content-addressed
+// disk store, reopens it mmap-backed, and replays a fixed-seed push sweep
+// on both copies — the two result sets must be identical. Random specs
+// build from a fixed sampler seed and spill under the seeded key, so the
+// mmap replay also proves the spilled realization round-trips. Violations
+// exit nonzero, so CI can run this under GOMEMLIMIT as the giant-graph
+// smoke gate.
 package main
 
 import (
@@ -20,10 +24,17 @@ import (
 
 	"rumor"
 	"rumor/internal/graph"
+	"rumor/internal/xrand"
 )
 
-// giantPoint is one size's measurements in the -giant report.
+// giantSamplerSeed is the fixed seed every random -giant point builds
+// from: the harness measures the envelope of one reproducible
+// realization, not a distribution.
+const giantSamplerSeed = 424242
+
+// giantPoint is one point's measurements in the -giant report.
 type giantPoint struct {
+	Spec             string  `json:"spec"`
 	N                int     `json:"n"`
 	Edges            int64   `json:"edges"`
 	CSRBytes         int64   `json:"csr_bytes"`
@@ -43,14 +54,34 @@ type giantPoint struct {
 // shardScaling records a fixed batched sweep timed at GOMAXPROCS 1 and
 // NumCPU, with the BENCH_PR4 MultiTrialPushStarBatched measurement (when
 // the file is present) as the cross-PR reference for the same workload
-// shape.
+// shape. On a single-core host the measurement is skipped: the two
+// timings coincide up to pool overhead, and publishing the resulting
+// sub-1.0 "scaling" figure would be pure noise (BENCH_PR7.json's 0.84).
 type shardScaling struct {
 	Workload        string  `json:"workload"`
-	SecondsProcs1   float64 `json:"seconds_gomaxprocs_1"`
-	SecondsProcsN   float64 `json:"seconds_gomaxprocs_numcpu"`
+	Skipped         bool    `json:"skipped,omitempty"`
+	Note            string  `json:"note,omitempty"`
+	SecondsProcs1   float64 `json:"seconds_gomaxprocs_1,omitempty"`
+	SecondsProcsN   float64 `json:"seconds_gomaxprocs_numcpu,omitempty"`
 	NumCPU          int     `json:"num_cpu"`
-	Scaling         float64 `json:"scaling"` // procs1 / procsN
+	Scaling         float64 `json:"scaling,omitempty"` // procs1 / procsN
 	PR4BaselineNsOp float64 `json:"bench_pr4_push_star_batched_ns_per_op,omitempty"`
+}
+
+// gnpSpeedup records the legacy-vs-skip-sampling comparison on a size the
+// naive path can still reach: the same G(n, p) point sampled once with
+// O(n²) per-pair coin flips through the legacy in-memory Builder and once
+// with geometric skip-sampling through the streaming builder. At sparse p
+// the expected-work gap is n²/2 flips vs ~m skips, so the speedup should
+// be orders of magnitude (the acceptance floor is 10x).
+type gnpSpeedup struct {
+	N             int     `json:"n"`
+	P             float64 `json:"p"`
+	NaiveSeconds  float64 `json:"naive_per_pair_seconds"`
+	StreamSeconds float64 `json:"stream_skip_seconds"`
+	Speedup       float64 `json:"speedup"`
+	NaiveEdges    int64   `json:"naive_edges"`
+	StreamEdges   int64   `json:"stream_edges"`
 }
 
 type giantReport struct {
@@ -60,12 +91,14 @@ type giantReport struct {
 	NumCPU       int           `json:"num_cpu"`
 	GOMEMLIMIT   string        `json:"gomemlimit,omitempty"`
 	Giant        []giantPoint  `json:"giant"`
+	GnpSpeedup   *gnpSpeedup   `json:"gnp_speedup,omitempty"`
 	ShardScaling *shardScaling `json:"shard_scaling,omitempty"`
 }
 
 // buildPeakRatioMax is the acceptance bound on streaming-build peak heap
 // growth relative to the final CSR: the two-pass builder allocates the
-// CSR arrays and O(1) scratch, nothing else.
+// CSR arrays and O(1) scratch, nothing else — and the random samplers'
+// auxiliary state is file-backed, so it must not show up here either.
 const buildPeakRatioMax = 1.1
 
 // sampleHeapPeak polls HeapAlloc until stop closes and reports the
@@ -123,9 +156,15 @@ func giantPushSweep(g *rumor.Graph) ([]rumor.Result, error) {
 	return rumor.RunManyBatched(g, factory, 2, 3, 12345)
 }
 
-// runGiantPoint measures one star size end to end.
-func runGiantPoint(leaves int, dir string) (giantPoint, error) {
-	var pt giantPoint
+// runGiantPoint measures one spec end to end. Random specs build from the
+// fixed giantSamplerSeed and spill under graph.SeededKey, so the build is
+// reproducible and the disk tier exercises the seeded key path.
+func runGiantPoint(spec string, dir string) (giantPoint, error) {
+	pt := giantPoint{Spec: spec}
+	p, err := graph.ParseSpec(spec)
+	if err != nil {
+		return pt, err
+	}
 
 	runtime.GC()
 	var ms runtime.MemStats
@@ -138,10 +177,13 @@ func runGiantPoint(leaves int, dir string) (giantPoint, error) {
 	go func() { sampleHeapPeak(stop, &peak); close(done) }()
 
 	t0 := time.Now()
-	g := graph.Star(leaves)
+	g, err := p.BuildSeeded(giantSamplerSeed)
 	pt.BuildSeconds = time.Since(t0).Seconds()
 	close(stop)
 	<-done
+	if err != nil {
+		return pt, fmt.Errorf("%s: build: %w", spec, err)
+	}
 	runtime.ReadMemStats(&ms)
 	if ms.HeapAlloc > peak {
 		peak = ms.HeapAlloc
@@ -157,15 +199,15 @@ func runGiantPoint(leaves int, dir string) (giantPoint, error) {
 	pt.BuildPeakBytes = int64(peak - baseline)
 	pt.BuildPeakRatio = float64(pt.BuildPeakBytes) / float64(pt.CSRBytes)
 	if pt.BuildPeakRatio > buildPeakRatioMax {
-		return pt, fmt.Errorf("star n=%d: build peak heap %.0f MiB is %.3fx the %.0f MiB CSR (bound %.2fx): streaming path regressed",
-			pt.N, float64(pt.BuildPeakBytes)/(1<<20), pt.BuildPeakRatio, float64(pt.CSRBytes)/(1<<20), buildPeakRatioMax)
+		return pt, fmt.Errorf("%s: build peak heap %.0f MiB is %.3fx the %.0f MiB CSR (bound %.2fx): streaming path regressed",
+			spec, float64(pt.BuildPeakBytes)/(1<<20), pt.BuildPeakRatio, float64(pt.CSRBytes)/(1<<20), buildPeakRatioMax)
 	}
 
 	t0 = time.Now()
 	heapResults, err := giantPushSweep(g)
 	pt.SweepSecondsHeap = time.Since(t0).Seconds()
 	if err != nil {
-		return pt, fmt.Errorf("star n=%d: heap sweep: %w", pt.N, err)
+		return pt, fmt.Errorf("%s: heap sweep: %w", spec, err)
 	}
 
 	// Spill with a 1-byte threshold so every size takes the disk path,
@@ -174,16 +216,19 @@ func runGiantPoint(leaves int, dir string) (giantPoint, error) {
 	if err != nil {
 		return pt, err
 	}
-	key := fmt.Sprintf("giant-star:%d", leaves)
+	key := "giant-" + p.Canonical()
+	if p.Random() {
+		key = graph.SeededKey(p.Canonical(), giantSamplerSeed)
+	}
 	t0 = time.Now()
 	gm, err := store.GetOrBuild(key, func() (*graph.Graph, error) { return g, nil })
 	pt.SpillSeconds = time.Since(t0).Seconds()
 	if err != nil {
-		return pt, fmt.Errorf("star n=%d: spill: %w", pt.N, err)
+		return pt, fmt.Errorf("%s: spill: %w", spec, err)
 	}
 	pt.MmapBacked = gm.MmapBacked()
 	if !pt.MmapBacked {
-		return pt, fmt.Errorf("star n=%d: reopened graph is not mmap-backed", pt.N)
+		return pt, fmt.Errorf("%s: reopened graph is not mmap-backed", spec)
 	}
 	g = nil
 	runtime.GC() // release the heap CSR before sweeping the mapped copy
@@ -192,20 +237,72 @@ func runGiantPoint(leaves int, dir string) (giantPoint, error) {
 	mmapResults, err := giantPushSweep(gm)
 	pt.SweepSecondsMmap = time.Since(t0).Seconds()
 	if err != nil {
-		return pt, fmt.Errorf("star n=%d: mmap sweep: %w", pt.N, err)
+		return pt, fmt.Errorf("%s: mmap sweep: %w", spec, err)
 	}
 	pt.SweepIdentical = reflect.DeepEqual(heapResults, mmapResults)
 	if !pt.SweepIdentical {
-		return pt, fmt.Errorf("star n=%d: mmap-backed sweep diverges from the in-memory sweep", pt.N)
+		return pt, fmt.Errorf("%s: mmap-backed sweep diverges from the in-memory sweep", spec)
 	}
 	pt.VmHWMBytesSoFar = vmHWMBytes()
 	return pt, nil
 }
 
+// measureGnpSpeedup times the same sparse G(n, p) point through the naive
+// O(n²) per-pair formulation (the pre-streaming baseline shape, built
+// through the legacy in-memory Builder) and through the streaming
+// skip-sampler. Both are end-to-end graph constructions; the realizations
+// differ (different draw disciplines) but the workload is identical.
+func measureGnpSpeedup() (*gnpSpeedup, error) {
+	const n, p, seed = 20000, 5e-4, 99
+	sp := &gnpSpeedup{N: n, P: p}
+
+	t0 := time.Now()
+	b := graph.NewBuilder(n, "gnp-naive")
+	s := xrand.NewStream(seed, 1, 0)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Bernoulli(p) {
+				if err := b.AddEdge(graph.Vertex(i), graph.Vertex(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	gNaive, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	sp.NaiveSeconds = time.Since(t0).Seconds()
+	sp.NaiveEdges = int64(gNaive.M())
+
+	t0 = time.Now()
+	gStream, err := graph.ErdosRenyiSeeded(n, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	sp.StreamSeconds = time.Since(t0).Seconds()
+	sp.StreamEdges = int64(gStream.M())
+	if sp.StreamSeconds > 0 {
+		sp.Speedup = sp.NaiveSeconds / sp.StreamSeconds
+	}
+	return sp, nil
+}
+
 // measureShardScaling times a fixed batched push sweep at GOMAXPROCS 1
-// and NumCPU. On a single-core host the two coincide; the entry still
-// records the reference point the next multi-core run compares against.
+// and NumCPU. On a single-core host the measurement is skipped with an
+// explanatory note — timing the same single core twice measures only
+// worker-pool overhead, not scaling.
 func measureShardScaling() *shardScaling {
+	s := &shardScaling{
+		Workload: "RunManyBatched push star:4096 x16 trials",
+		NumCPU:   runtime.NumCPU(),
+	}
+	s.PR4BaselineNsOp = benchPR4Baseline("MultiTrialPushStarBatched")
+	if s.NumCPU == 1 {
+		s.Skipped = true
+		s.Note = "single-core host: GOMAXPROCS 1 and NumCPU coincide, so the ratio would measure pool overhead, not shard scaling; run on >= 8 cores for a meaningful figure"
+		return s
+	}
 	sweep := func() {
 		g := rumor.Star(4096)
 		factory := func(rngs []*rumor.RNG) (rumor.LaneProcess, error) {
@@ -223,23 +320,18 @@ func measureShardScaling() *shardScaling {
 		sweep()
 		return time.Since(t0).Seconds()
 	}
-	s := &shardScaling{
-		Workload:      "RunManyBatched push star:4096 x16 trials",
-		NumCPU:        runtime.NumCPU(),
-		SecondsProcs1: timed(1),
-		SecondsProcsN: timed(runtime.NumCPU()),
-	}
+	s.SecondsProcs1 = timed(1)
+	s.SecondsProcsN = timed(runtime.NumCPU())
 	if s.SecondsProcsN > 0 {
 		s.Scaling = s.SecondsProcs1 / s.SecondsProcsN
 	}
-	s.PR4BaselineNsOp = benchPR4Baseline("MultiTrialPushStarBatched")
 	return s
 }
 
-// runGiant executes the giant-graph harness for the given sizes and
+// runGiant executes the giant-graph harness for the given specs and
 // writes the report. Any acceptance violation is returned after the
 // report is written, so the JSON still records the failing measurement.
-func runGiant(sizes []int, dir, out string) error {
+func runGiant(specs []string, dir, out string) error {
 	rep := giantReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -248,8 +340,8 @@ func runGiant(sizes []int, dir, out string) error {
 		GOMEMLIMIT: os.Getenv("GOMEMLIMIT"),
 	}
 	var firstErr error
-	for _, n := range sizes {
-		pt, err := runGiantPoint(n, dir)
+	for _, spec := range specs {
+		pt, err := runGiantPoint(spec, dir)
 		rep.Giant = append(rep.Giant, pt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "giant: %v\n", err)
@@ -258,13 +350,27 @@ func runGiant(sizes []int, dir, out string) error {
 			}
 			break
 		}
-		fmt.Printf("star n=%-11d csr %8.1f MiB  width %d  build %6.2fs (peak %.3fx)  spill %6.2fs  mmap sweep ok\n",
-			pt.N, float64(pt.CSRBytes)/(1<<20), pt.OffsetWidth, pt.BuildSeconds, pt.BuildPeakRatio, pt.SpillSeconds)
+		fmt.Printf("%-24s n=%-11d csr %8.1f MiB  width %d  build %6.2fs (peak %.3fx)  spill %6.2fs  mmap sweep ok\n",
+			spec, pt.N, float64(pt.CSRBytes)/(1<<20), pt.OffsetWidth, pt.BuildSeconds, pt.BuildPeakRatio, pt.SpillSeconds)
+	}
+	if firstErr == nil {
+		sp, err := measureGnpSpeedup()
+		if err != nil {
+			firstErr = err
+		} else {
+			rep.GnpSpeedup = sp
+			fmt.Printf("gnp skip-sampling: naive per-pair %.3fs vs stream %.4fs (%.0fx) at n=%d p=%g\n",
+				sp.NaiveSeconds, sp.StreamSeconds, sp.Speedup, sp.N, sp.P)
+		}
 	}
 	if firstErr == nil {
 		rep.ShardScaling = measureShardScaling()
-		fmt.Printf("shard scaling: %.3fs @1 proc, %.3fs @%d procs (%.2fx)\n",
-			rep.ShardScaling.SecondsProcs1, rep.ShardScaling.SecondsProcsN, rep.ShardScaling.NumCPU, rep.ShardScaling.Scaling)
+		if rep.ShardScaling.Skipped {
+			fmt.Printf("shard scaling: skipped (%s)\n", rep.ShardScaling.Note)
+		} else {
+			fmt.Printf("shard scaling: %.3fs @1 proc, %.3fs @%d procs (%.2fx)\n",
+				rep.ShardScaling.SecondsProcs1, rep.ShardScaling.SecondsProcsN, rep.ShardScaling.NumCPU, rep.ShardScaling.Scaling)
+		}
 	}
 	if err := writeJSON(out, rep); err != nil {
 		return err
@@ -273,9 +379,9 @@ func runGiant(sizes []int, dir, out string) error {
 	return firstErr
 }
 
-// parseGiantSizes parses the -giant-sizes comma list.
-func parseGiantSizes(s string) ([]int, error) {
-	var sizes []int
+// parseGiantSizes parses the -giant-sizes comma list into star specs.
+func parseGiantSizes(s string) ([]string, error) {
+	var specs []string
 	for _, f := range strings.Split(s, ",") {
 		f = strings.TrimSpace(f)
 		if f == "" {
@@ -285,10 +391,25 @@ func parseGiantSizes(s string) ([]int, error) {
 		if err != nil || n < 1 {
 			return nil, fmt.Errorf("bad -giant-sizes entry %q", f)
 		}
-		sizes = append(sizes, n)
+		specs = append(specs, fmt.Sprintf("star:%d", n))
 	}
-	if len(sizes) == 0 {
-		return nil, fmt.Errorf("-giant-sizes is empty")
+	return specs, nil
+}
+
+// parseGiantSpecs parses the -giant-specs list: semicolon-separated graph
+// specs (specs themselves contain commas), validated and canonicalized.
+func parseGiantSpecs(s string) ([]string, error) {
+	var specs []string
+	for _, f := range strings.Split(s, ";") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		p, err := graph.ParseSpec(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -giant-specs entry %q: %w", f, err)
+		}
+		specs = append(specs, p.Canonical())
 	}
-	return sizes, nil
+	return specs, nil
 }

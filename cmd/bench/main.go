@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/bench [-out BENCH_PR4.json] [-benchtime 2s] [-smoke]
 //	go run ./cmd/bench -giant [-giant-sizes 1000000,...] [-out BENCH_PR7.json]
+//	go run ./cmd/bench -giant -giant-specs "gnp:10000000,2e-7;randreg:10000000,8" [-out BENCH_PR9.json]
 //	go run ./cmd/bench -serve-overhead [-out BENCH_PR8.json]
 //
 // Before timing anything, bench cross-checks the engines: for every one of
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"rumor"
+	"rumor/internal/graph"
 )
 
 // baselineNsPerOp holds the seed-tree (serial engine) medians measured
@@ -155,9 +157,25 @@ func laneFactory(proto string, g *rumor.Graph) rumor.LaneFactory {
 // verifyEngines runs every protocol's batched bundle against the serial
 // path on the same points and reports the first divergence. The serving
 // and experiment layers rely on this equivalence for cache identity, so a
-// bench run refuses to publish numbers for diverging engines.
+// bench run refuses to publish numbers for diverging engines. The points
+// include a seeded streamed random family (G(n, p) through the two-pass
+// skip-sampling builder) alongside the deterministic families, so the
+// batched == serial contract is pinned on that build path too.
 func verifyEngines() error {
-	graphs := []*rumor.Graph{rumor.Star(257), rumor.Hypercube(7)}
+	gnpSpec, err := graph.ParseSpec("gnp:400,0.05")
+	if err != nil {
+		return err
+	}
+	gnp, err := gnpSpec.BuildSeeded(417)
+	if err != nil {
+		return err
+	}
+	if !rumor.IsConnected(gnp) {
+		// Fixed seed, so this is deterministic: at mean degree ~20 the
+		// realization is connected; a trip here means the sampler changed.
+		return fmt.Errorf("gnp:400,0.05 @417 realization is disconnected; cross-check needs a connected instance")
+	}
+	graphs := []*rumor.Graph{rumor.Star(257), rumor.Hypercube(7), gnp}
 	const trials, seed = 8, 417
 	for _, g := range graphs {
 		for _, proto := range protoNames {
@@ -268,6 +286,7 @@ func main() {
 	giant := flag.Bool("giant", false, "run the giant-graph out-of-core harness (streaming build, mmap spill, fixed-seed replay) instead of the timed benchmarks")
 	serveOverhead := flag.Bool("serve-overhead", false, "measure the metrics layer's cost on the cached /v1/run hot path (instrumented vs DisableMetrics) instead of the timed benchmarks")
 	giantSizes := flag.String("giant-sizes", "1000000,10000000,100000000", "comma-separated star leaf counts for -giant")
+	giantSpecs := flag.String("giant-specs", "", "semicolon-separated extra graph specs for -giant (random families included, e.g. \"gnp:10000000,2e-7;randreg:10000000,8\"); empty -giant-sizes runs only these")
 	giantDir := flag.String("giant-dir", "", "spill directory for -giant (default: a temp dir, removed afterwards)")
 	overheadChild := flag.String("serve-overhead-child", "", "internal: benchmark one cached-run server variant (instrumented|bare) in this process and print ns/op")
 	flag.Parse()
@@ -299,9 +318,19 @@ func main() {
 		return
 	}
 	if *giant {
-		sizes, err := parseGiantSizes(*giantSizes)
+		specs, err := parseGiantSizes(*giantSizes)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		extra, err := parseGiantSpecs(*giantSpecs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = append(specs, extra...)
+		if len(specs) == 0 {
+			fmt.Fprintln(os.Stderr, "giant: no points requested (-giant-sizes and -giant-specs both empty)")
 			os.Exit(2)
 		}
 		dir, tmp := *giantDir, ""
@@ -317,7 +346,7 @@ func main() {
 		if path == "" {
 			path = "BENCH_PR7.json"
 		}
-		err = runGiant(sizes, dir, path)
+		err = runGiant(specs, dir, path)
 		if tmp != "" {
 			os.RemoveAll(tmp)
 		}

@@ -46,7 +46,7 @@ func run(args []string, out io.Writer) error {
 		maxRounds = fs.Int("maxrounds", 0, "round cutoff (0 = default n^2 bound)")
 		history   = fs.Bool("history", false, "print per-round informed counts of trial 0")
 		dataDir   = fs.String("data-dir", "", "content-addressed graph store directory; giant deterministic graphs build once and mmap on reuse")
-		spill     = fs.Int64("graph-spill", 256<<20, "spill deterministic graphs whose CSR is at least this many bytes into <data-dir>/graphs (0 = never; needs -data-dir)")
+		spill     = fs.Int64("graph-spill", 256<<20, "spill graphs whose CSR is at least this many bytes into <data-dir>/graphs — deterministic families by canonical spec, random families by (spec, sampler seed, sampler version) (0 = never; needs -data-dir)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: rumor [flags]\n\nFlags:\n")

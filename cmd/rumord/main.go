@@ -52,7 +52,7 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 		cache     = fs.Int("cache", 0, "completed-result LRU entries (0 = default 512)")
 		shards    = fs.Int("shards", 0, "job-table/cache shards (0 = default 16)")
 		dataDir   = fs.String("data-dir", "", "spill evicted results to content-addressed files here; replayed byte-identically across restarts (empty = memory only)")
-		spill     = fs.Int64("graph-spill", 256<<20, "spill deterministic graphs whose CSR is at least this many bytes to <data-dir>/graphs and serve them mmap-backed (0 = never spill; needs -data-dir)")
+		spill     = fs.Int64("graph-spill", 256<<20, "spill graphs whose CSR is at least this many bytes to <data-dir>/graphs and serve them mmap-backed — deterministic families by canonical spec, random families by (spec, sampler seed, sampler version) (0 = never spill; needs -data-dir)")
 		drain     = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never on the serving port)")
 	)

@@ -240,8 +240,10 @@ const graphCacheBytes = 2 << 30
 // hot-path caches (packed walk index, stationary alias table) hang off the
 // instance, so sharing one instance per (family, parameter) across sweeps,
 // trials, and repeated experiment runs amortizes both construction and
-// cache building. Deterministic generators only: randomly generated graphs
-// must not be memoized (their identity depends on the seed).
+// cache building. Deterministic graphs key on the canonical spec alone;
+// random realizations key on graph.SeededKey — canonical spec + sampler
+// seed + sampler version — which the replayable edge-stream samplers
+// make a complete identity (same key, byte-identical CSR).
 //
 // Eviction never unmaps or frees a graph eagerly: concurrent trials may
 // still hold it, so eviction only drops the cache's reference and the
@@ -308,6 +310,26 @@ func buildDeterministic(key string, build func() (*graph.Graph, error)) (*graph.
 			return st.GetOrBuild(key, build)
 		}
 		return build()
+	})
+}
+
+// buildRandom memoizes one realization of a random-family spec, keyed by
+// (canonical spec, sampler seed, sampler version) via graph.SeededKey.
+// The seeded samplers are replayable — the key pins the exact CSR bytes —
+// so realizations ride the same memo and spill tiers as deterministic
+// graphs: repeated sweeps over the same (spec, graphSeed) stop
+// re-sampling, and giant realizations spill once and reopen mmap-backed.
+func buildRandom(p graph.ParsedSpec, samplerSeed uint64) (*graph.Graph, error) {
+	key := graph.SeededKey(p.Canonical(), samplerSeed)
+	graphMemoCalls.Add(1)
+	return graphCache.GetOrBuildErr(key, func() (*graph.Graph, error) {
+		graphMemoBuilds.Add(1)
+		if st := graphStore.Load(); st != nil {
+			return st.GetOrBuild(key, func() (*graph.Graph, error) {
+				return p.BuildSeeded(samplerSeed)
+			})
+		}
+		return p.BuildSeeded(samplerSeed)
 	})
 }
 

@@ -188,9 +188,13 @@ func (s RunSpec) AgentOptions() (core.AgentOptions, error) {
 
 // Build materializes the graph and the resolved source vertex.
 // Deterministic families come from the shared LRU graph memoization
-// (keyed by canonical spec, built exactly once per residency); random
-// families are built fresh from GraphSeed, never cached — their identity
-// depends on the seed, and the cache key has no seed lane.
+// (keyed by canonical spec, built exactly once per residency). Random
+// families resolve GraphSeed to a sampler seed exactly the way the
+// historical rng-driven path did — one Uint64 draw from the derived
+// graph-seed RNG — and then memoize the realization under
+// graph.SeededKey: the replayable samplers make (spec, seed) a complete
+// identity, so caching and disk spill are as safe as for deterministic
+// graphs, and the realization equals what Build(rng) would sample.
 func (s RunSpec) Build() (*graph.Graph, graph.Vertex, error) {
 	p, err := graph.ParseSpec(s.Graph)
 	if err != nil {
@@ -198,7 +202,8 @@ func (s RunSpec) Build() (*graph.Graph, graph.Vertex, error) {
 	}
 	var g *graph.Graph
 	if p.Random() {
-		g, err = p.Build(xrand.New(xrand.Derive(s.GraphSeed, graphSeedLane)))
+		samplerSeed := xrand.New(xrand.Derive(s.GraphSeed, graphSeedLane)).Uint64()
+		g, err = buildRandom(p, samplerSeed)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -2,12 +2,14 @@ package experiment
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"rumor/internal/graph"
 	"rumor/internal/lru"
+	"rumor/internal/xrand"
 )
 
 // TestGraphCacheByteCostMixedSizes is the regression for the old
@@ -120,6 +122,108 @@ func TestSpilledGraphReplaysByteIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(want, again) {
 		t.Fatal("results differ after reopening the spilled graph")
+	}
+}
+
+// TestSpilledRandomGraphReplaysByteIdentical extends the out-of-core seam
+// to seeded random families: the realization spills under its
+// graph.SeededKey (spec + sampler seed + sampler version), reopens
+// mmap-backed, and a fixed-seed sweep replays result-identically — the
+// property that makes caching a *random* graph sound at all.
+func TestSpilledRandomGraphReplaysByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	defer func() {
+		if err := ConfigureGraphStorage("", 0); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	spec := DefaultRunSpec()
+	spec.Graph = "randreg:96,4"
+	spec.Protocol = ProtoPush
+	spec.Trials = 4
+	spec.Seed = 11
+	spec, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := graph.ParseSpec(spec.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplerSeed := xrand.New(xrand.Derive(spec.GraphSeed, graphSeedLane)).Uint64()
+	key := graph.SeededKey(p.Canonical(), samplerSeed)
+
+	// Reference: heap-built realization, no store.
+	if err := ConfigureGraphStorage("", 0); err != nil {
+		t.Fatal(err)
+	}
+	graphCache.Delete(key)
+	want, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spill (threshold 1 byte) and compare.
+	if err := ConfigureGraphStorage(filepath.Join(dir, "graphs"), 1); err != nil {
+		t.Fatal(err)
+	}
+	graphCache.Delete(key)
+	got, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("results differ between heap-built and spilled random realization")
+	}
+	g, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.MmapBacked() {
+		t.Skip("no mmap on this platform")
+	}
+
+	// "Restart": evict, reopen from the spill file (the sampler must not
+	// rerun — the file is keyed by seed), and replay again.
+	graphCache.Delete(key)
+	again, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, again) {
+		t.Fatal("results differ after reopening the spilled random realization")
+	}
+
+	// A different experiment seed derives a different sampler seed and so a
+	// different spill file: both realizations coexist in the store.
+	spec2 := spec
+	spec2.Seed = 12
+	spec2.GraphSeed = 0
+	spec2, err = spec2.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplerSeed2 := xrand.New(xrand.Derive(spec2.GraphSeed, graphSeedLane)).Uint64()
+	if samplerSeed2 == samplerSeed {
+		t.Fatal("distinct graph seeds derived one sampler seed")
+	}
+	if _, err := spec2.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := graphStore.Load()
+	if st == nil {
+		t.Fatal("store not configured")
+	}
+	pathA := st.Path(key)
+	pathB := st.Path(graph.SeededKey(p.Canonical(), samplerSeed2))
+	if pathA == pathB {
+		t.Fatal("distinct sampler seeds mapped to one spill file")
+	}
+	for _, f := range []string{pathA, pathB} {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("missing spill file: %v", err)
+		}
 	}
 }
 

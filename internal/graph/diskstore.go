@@ -25,12 +25,18 @@ func StoreStats() (opens, builds, spills int64) {
 	return storeOpens.Load(), storeBuilds.Load(), storeSpills.Load()
 }
 
-// Store is a content-addressed on-disk tier for deterministic graphs.
+// Store is a content-addressed on-disk tier for graphs.
 //
 // Deterministic families are pure functions of their canonical spec
 // string, so the spec is the identity: a graph is encoded once into
 // <dir>/<sha256(spec)>.csr and every later request — in this process or
 // the next — reopens the file read-only via mmap instead of rebuilding.
+// Random families are pure functions of (canonical spec, sampler seed,
+// sampler version) — the replayable edge-stream samplers guarantee it —
+// so their realizations spill under SeededKey, which bakes all three
+// into the key: distinct seeds get distinct files, and a sampler
+// algorithm change (a RandomSamplerVersion bump) can never be served a
+// stale realization from an older generation.
 // Hashing the key keeps hostile or merely awkward spec strings (slashes,
 // dots, multi-kilobyte params) from steering the path, the same defense
 // the serve layer's spill tier applies to result IDs.

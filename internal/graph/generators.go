@@ -409,6 +409,10 @@ func cliquePathSpec(k, s int) StreamSpec {
 // The repair step performs uniformly random edge switches, which preserves
 // the degree sequence; for d = O(log n) the result is statistically
 // indistinguishable from the uniform model for this repository's purposes.
+//
+// This is the legacy in-memory sampler, kept as the laptop-scale
+// reference API; spec builds (randreg:N,D) route through the streaming
+// RandomRegularSeeded in randstream.go, whose peak heap is the final CSR.
 func RandomRegular(n, d int, rng *xrand.RNG) (*Graph, error) {
 	if d <= 0 || d >= n {
 		return nil, fmt.Errorf("graph: RandomRegular needs 0 < d < n, got d=%d n=%d", d, n)
@@ -523,7 +527,10 @@ func RandomRegularConnected(n, d int, rng *xrand.RNG) (*Graph, error) {
 }
 
 // ErdosRenyi returns a sample of G(n, p) using geometric skipping, so the
-// cost is proportional to the number of edges rather than n².
+// cost is proportional to the number of edges rather than n². It is the
+// legacy Builder-based sampler (peak memory ≈ 2× the CSR); spec builds
+// (gnp:N,P) route through the streaming ErdosRenyiSeeded in
+// randstream.go.
 func ErdosRenyi(n int, p float64, rng *xrand.RNG) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("graph: ErdosRenyi needs n >= 1")
@@ -580,7 +587,10 @@ func pairFromIndex(idx int64, n int) (Vertex, Vertex) {
 // observation the paper's introduction cites.
 //
 // Degree-proportional sampling uses the standard trick of picking a uniform
-// endpoint of an existing edge.
+// endpoint of an existing edge. This is the legacy in-memory sampler
+// (it materializes the full endpoint list); spec builds (barabasi:N,M)
+// route through the streaming BarabasiAlbertSeeded in randstream.go,
+// which resolves the endpoint pool analytically.
 func BarabasiAlbert(n, m int, rng *xrand.RNG) (*Graph, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("graph: BarabasiAlbert needs m >= 1")
@@ -633,6 +643,8 @@ func BarabasiAlbert(n, m int, rng *xrand.RNG) (*Graph, error) {
 // each edge {i,j} present independently with probability
 // min(1, w_i·w_j / Σw). β must exceed 2 for a finite mean. The generator is
 // O(n²); it targets the social-network example (n in the low thousands).
+// Spec builds (chunglu:N,B,D) route through the streaming ChungLuSeeded
+// in randstream.go, whose skip sampling is O(n + m) expected.
 func ChungLu(n int, beta, avgDeg float64, rng *xrand.RNG) (*Graph, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("graph: ChungLu needs n >= 2")

@@ -21,3 +21,9 @@ func mapFile(path string) (*mapping, error) {
 }
 
 func (m *mapping) close() {}
+
+// mapScratch on platforms without mmap: plain heap memory. Samplers work
+// unchanged; only the off-heap property of giant builds is lost.
+func mapScratch(size int) (*mapping, error) {
+	return &mapping{data: make([]byte, size), heap: true}, nil
+}

@@ -54,3 +54,30 @@ func (m *mapping) close() {
 	syscall.Munmap(m.data)
 	m.data = nil
 }
+
+// mapScratch returns size bytes of zeroed read-write memory backed by an
+// unlinked temp file rather than the Go heap. Random-graph samplers keep
+// their auxiliary state (stub arrays, preferential-attachment targets) in
+// such buffers so a giant build's peak *heap* stays at the final CSR: the
+// scratch pages are file cache the kernel can write back and reclaim
+// under pressure, and the unlink ties their lifetime to the mapping. The
+// caller must close() the mapping when done.
+func mapScratch(size int) (*mapping, error) {
+	if size == 0 {
+		return &mapping{heap: true}, nil
+	}
+	f, err := os.CreateTemp("", "rumor-scratch-*")
+	if err != nil {
+		return nil, fmt.Errorf("graph: scratch temp file: %w", err)
+	}
+	defer f.Close()
+	os.Remove(f.Name()) // unlinked: the pages die with the mapping
+	if err := f.Truncate(int64(size)); err != nil {
+		return nil, fmt.Errorf("graph: scratch truncate: %w", err)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: scratch mmap: %w", err)
+	}
+	return &mapping{data: data}, nil
+}

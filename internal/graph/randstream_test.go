@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"rumor/internal/xrand"
+)
+
+// seededCases enumerates one (spec-ish, build) closure per random family
+// across a fuzzed parameter grid. Every successful build already proves
+// the two-pass contract — BuildStream fails loudly if the pass-1 count
+// and the pass-2 placement disagree — so the cases double as the
+// count==placement suite.
+type seededCase struct {
+	name  string
+	build func(seed uint64) (*Graph, error)
+}
+
+func seededCases() []seededCase {
+	var cases []seededCase
+	for _, p := range []struct {
+		n int
+		p float64
+	}{{2, 0.5}, {50, 0}, {50, 1}, {64, 0.01}, {300, 0.05}, {1000, 0.003}, {70000, 0.00005}} {
+		p := p
+		cases = append(cases, seededCase{
+			name:  fmt.Sprintf("gnp:%d,%g", p.n, p.p),
+			build: func(seed uint64) (*Graph, error) { return ErdosRenyiSeeded(p.n, p.p, seed) },
+		})
+	}
+	for _, p := range []struct{ n, d int }{{4, 3}, {30, 2}, {101, 4}, {300, 7}, {1024, 8}} {
+		p := p
+		cases = append(cases, seededCase{
+			name:  fmt.Sprintf("randreg:%d,%d", p.n, p.d),
+			build: func(seed uint64) (*Graph, error) { return RandomRegularSeeded(p.n, p.d, seed) },
+		})
+	}
+	for _, p := range []struct{ n, m int }{{4, 1}, {50, 1}, {200, 3}, {500, 5}} {
+		p := p
+		cases = append(cases, seededCase{
+			name:  fmt.Sprintf("barabasi:%d,%d", p.n, p.m),
+			build: func(seed uint64) (*Graph, error) { return BarabasiAlbertSeeded(p.n, p.m, seed) },
+		})
+	}
+	for _, p := range []struct {
+		n    int
+		beta float64
+		avg  float64
+	}{{16, 3, 2}, {300, 2.5, 6}, {1000, 2.2, 4}} {
+		p := p
+		cases = append(cases, seededCase{
+			name:  fmt.Sprintf("chunglu:%d,%g,%g", p.n, p.beta, p.avg),
+			build: func(seed uint64) (*Graph, error) { return ChungLuSeeded(p.n, p.beta, p.avg, seed) },
+		})
+	}
+	return cases
+}
+
+// TestSeededSamplersReplayable pins the tentpole contract: the same
+// (family, params, seed) yields a byte-identical CSR on every build —
+// across repeated builds and across GOMAXPROCS settings — while distinct
+// seeds yield distinct realizations (except where the distribution is a
+// point mass, e.g. p = 0 or p = 1).
+func TestSeededSamplersReplayable(t *testing.T) {
+	for _, c := range seededCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			g1, err := c.build(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g1.Validate(); err != nil {
+				t.Fatalf("invalid graph: %v", err)
+			}
+			b1 := encodeCSRBytes(t, g1)
+
+			g2, err := c.build(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, encodeCSRBytes(t, g2)) {
+				t.Fatal("same seed produced different CSR bytes")
+			}
+
+			prev := runtime.GOMAXPROCS(0)
+			for _, procs := range []int{1, 8} {
+				runtime.GOMAXPROCS(procs)
+				g, err := c.build(42)
+				runtime.GOMAXPROCS(prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(b1, encodeCSRBytes(t, g)) {
+					t.Fatalf("GOMAXPROCS=%d produced different CSR bytes", procs)
+				}
+			}
+
+			// Distinct-seed divergence is only a near-certainty away from
+			// point masses (p = 0, p = 1) and away from tiny instances
+			// whose realization space has a handful of members.
+			if g1.N() >= 50 && g1.M() > 0 && float64(g1.M()) < 0.99*float64(g1.N())*float64(g1.N()-1)/2 {
+				g3, err := c.build(43)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bytes.Equal(b1, encodeCSRBytes(t, g3)) {
+					t.Fatal("distinct seeds produced identical realizations")
+				}
+			}
+		})
+	}
+}
+
+// TestRandomRegularSeededDegrees checks exact d-regularity and simplicity
+// for the configuration-model sampler, and connectivity for the
+// Connected variant.
+func TestRandomRegularSeededDegrees(t *testing.T) {
+	for _, p := range []struct{ n, d int }{{30, 2}, {101, 4}, {300, 7}, {1024, 8}} {
+		g, err := RandomRegularSeeded(p.n, p.d, 7)
+		if err != nil {
+			t.Fatalf("randreg(%d,%d): %v", p.n, p.d, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if got := g.Degree(Vertex(v)); got != p.d {
+				t.Fatalf("randreg(%d,%d): degree(%d) = %d", p.n, p.d, v, got)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("randreg(%d,%d): %v", p.n, p.d, err)
+		}
+	}
+	g, err := RandomRegularConnectedSeeded(200, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(g) {
+		t.Fatal("RandomRegularConnectedSeeded returned a disconnected graph")
+	}
+	if !connectedLean(g) {
+		t.Fatal("connectedLean disagrees with IsConnected on a connected graph")
+	}
+	if connectedLean(Star(3)) != IsConnected(Star(3)) {
+		t.Fatal("connectedLean disagrees on star")
+	}
+}
+
+// TestConnectedLeanMatchesIsConnected cross-checks the allocation-lean
+// DFS against the reference implementation on graphs with and without
+// isolated parts.
+func TestConnectedLeanMatchesIsConnected(t *testing.T) {
+	for _, c := range seededCases() {
+		g, err := c.build(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := connectedLean(g), IsConnected(g); got != want {
+			t.Fatalf("%s: connectedLean = %v, IsConnected = %v", c.name, got, want)
+		}
+	}
+}
+
+// TestBarabasiAlbertSeededShape checks the preferential-attachment
+// invariants: edge count C(m+1,2) + (n-m-1)m, minimum degree >= m, and
+// the hub landmark.
+func TestBarabasiAlbertSeededShape(t *testing.T) {
+	const n, m = 500, 5
+	g, err := BarabasiAlbertSeeded(n, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (m+1)*m/2 + (n-m-1)*m
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if g.MinDegree() < m {
+		t.Fatalf("min degree %d < m = %d", g.MinDegree(), m)
+	}
+	if _, ok := g.Landmark("hub"); !ok {
+		t.Fatal("missing hub landmark")
+	}
+}
+
+// TestSeededSamplerErrors pins parameter validation.
+func TestSeededSamplerErrors(t *testing.T) {
+	if _, err := RandomRegularSeeded(5, 3, 1); err == nil {
+		t.Error("odd n*d accepted")
+	}
+	if _, err := RandomRegularSeeded(4, 0, 1); err == nil {
+		t.Error("d = 0 accepted")
+	}
+	if _, err := RandomRegularSeeded(4, 4, 1); err == nil {
+		t.Error("d >= n accepted")
+	}
+	if _, err := ErdosRenyiSeeded(0, 0.5, 1); err == nil {
+		t.Error("n < 1 accepted")
+	}
+	if _, err := ErdosRenyiSeeded(10, -0.1, 1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := ErdosRenyiSeeded(10, 1.5, 1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := BarabasiAlbertSeeded(3, 2, 1); err == nil {
+		t.Error("n < m+2 accepted")
+	}
+	if _, err := BarabasiAlbertSeeded(10, 0, 1); err == nil {
+		t.Error("m = 0 accepted")
+	}
+	if _, err := ChungLuSeeded(1, 2.5, 1, 1); err == nil {
+		t.Error("n < 2 accepted")
+	}
+	if _, err := ChungLuSeeded(10, 2, 2, 1); err == nil {
+		t.Error("beta <= 2 accepted")
+	}
+	if _, err := ChungLuSeeded(10, 2.5, 0, 1); err == nil {
+		t.Error("avgDeg = 0 accepted")
+	}
+}
+
+// TestBuildSeededMatchesSpecRouting pins that ParsedSpec.BuildSeeded and
+// ParsedSpec.Build(rng) route random families through the same seeded
+// samplers: Build draws the sampler seed as rng.Uint64(), so BuildSeeded
+// with that drawn seed must reproduce the realization bit for bit.
+func TestBuildSeededMatchesSpecRouting(t *testing.T) {
+	for _, spec := range []string{"gnp:120,0.06", "randreg:64,4", "barabasi:90,2", "chunglu:80,2.5,4"} {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Random() {
+			t.Fatalf("%s: expected random family", spec)
+		}
+		rng := xrand.New(99)
+		g1, err := p.Build(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := p.BuildSeeded(xrand.New(99).Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeCSRBytes(t, g1), encodeCSRBytes(t, g2)) {
+			t.Fatalf("%s: Build(rng) and BuildSeeded(rng.Uint64()) diverge", spec)
+		}
+		// Deterministic families ignore the seed entirely.
+		if _, err := mustParse(t, "star:8").BuildSeeded(123); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustParse(t *testing.T, spec string) ParsedSpec {
+	t.Helper()
+	p, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSeededKeyDistinctSpillFiles pins the disk-store identity: distinct
+// sampler seeds spill to distinct content-addressed files, and the same
+// seed re-resolves to the same file.
+func TestSeededKeyDistinctSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustParse(t, "randreg:64,4")
+	keyA := SeededKey(p.Canonical(), 1)
+	keyB := SeededKey(p.Canonical(), 2)
+	if keyA == keyB {
+		t.Fatal("distinct seeds produced identical keys")
+	}
+	if store.Path(keyA) == store.Path(keyB) {
+		t.Fatal("distinct keys mapped to one spill file")
+	}
+	for _, k := range []struct {
+		key  string
+		seed uint64
+	}{{keyA, 1}, {keyB, 2}} {
+		g, err := store.GetOrBuild(k.key, func() (*Graph, error) { return p.BuildSeeded(k.seed) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.MmapBacked() {
+			t.Fatalf("seed %d: spilled graph not mmap-backed", k.seed)
+		}
+		if _, err := os.Stat(store.Path(k.key)); err != nil {
+			t.Fatalf("seed %d: missing spill file: %v", k.seed, err)
+		}
+	}
+	ga, err := store.GetOrBuild(keyA, func() (*Graph, error) {
+		t.Fatal("rebuild despite existing spill file")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := p.BuildSeeded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeCSRBytes(t, ga), encodeCSRBytes(t, direct)) {
+		t.Fatal("spilled realization diverges from a fresh seeded build")
+	}
+}
+
+// TestSeededKeyFormat pins the cache-key shape: canonical spec, seed, and
+// sampler version all participate, so bumping RandomSamplerVersion
+// invalidates every spilled random realization at once.
+func TestSeededKeyFormat(t *testing.T) {
+	got := SeededKey("randreg:64,4", 0xabc)
+	want := fmt.Sprintf("randreg:64,4@seed=%016x;sampler=v%d", 0xabc, RandomSamplerVersion)
+	if got != want {
+		t.Fatalf("SeededKey = %q, want %q", got, want)
+	}
+}
+
+// FuzzSeededGnpReplay fuzzes (n, p, seed) and asserts replayability plus
+// the builder's structural invariants.
+func FuzzSeededGnpReplay(f *testing.F) {
+	f.Add(10, 0.3, uint64(1))
+	f.Add(100, 0.01, uint64(7))
+	f.Add(2, 1.0, uint64(0))
+	f.Fuzz(func(t *testing.T, n int, p float64, seed uint64) {
+		if n < 2 || n > 400 || p < 0 || p > 1 || p != p {
+			t.Skip()
+		}
+		g1, err := ErdosRenyiSeeded(n, p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g1.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ErdosRenyiSeeded(n, p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeCSRBytes(t, g1), encodeCSRBytes(t, g2)) {
+			t.Fatal("replay diverged")
+		}
+	})
+}

@@ -33,12 +33,16 @@ import (
 // specFamily describes one family of the grammar: its parameter shape
 // (kinds has one letter per parameter: 'i' int, 'f' float), whether its
 // construction consumes randomness, and how to build it from parsed
-// parameters.
+// parameters. Random families carry a seeded builder — the edge-stream
+// sampler keyed by an explicit sampler seed (randstream.go) — and their
+// rng-driven build derives its seed from one rng draw, so both entry
+// points sample the same realization for the same randomness.
 type specFamily struct {
 	usage  string
 	kinds  string
 	random bool
 	build  func(p ParsedSpec, rng *xrand.RNG) (*Graph, error)
+	seeded func(p ParsedSpec, seed uint64) (*Graph, error)
 }
 
 // deterministic wraps a parameter-only generator, converting its
@@ -73,16 +77,20 @@ var specFamilies = map[string]specFamily{
 	"ringcliques": {usage: "ringcliques:K,S", kinds: "ii", build: deterministic(func(p ParsedSpec) *Graph { return RingOfCliques(p.Ints[0], p.Ints[1]) })},
 	"cliquepath":  {usage: "cliquepath:K,S", kinds: "ii", build: deterministic(func(p ParsedSpec) *Graph { return CliquePath(p.Ints[0], p.Ints[1]) })},
 	"randreg": {usage: "randreg:N,D", kinds: "ii", random: true,
-		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) {
-			return RandomRegularConnected(p.Ints[0], p.Ints[1], rng)
+		seeded: func(p ParsedSpec, seed uint64) (*Graph, error) {
+			return RandomRegularConnectedSeeded(p.Ints[0], p.Ints[1], seed)
 		}},
 	"gnp": {usage: "gnp:N,P", kinds: "if", random: true,
-		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) { return ErdosRenyi(p.Ints[0], p.Floats[0], rng) }},
+		seeded: func(p ParsedSpec, seed uint64) (*Graph, error) {
+			return ErdosRenyiSeeded(p.Ints[0], p.Floats[0], seed)
+		}},
 	"barabasi": {usage: "barabasi:N,M", kinds: "ii", random: true,
-		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) { return BarabasiAlbert(p.Ints[0], p.Ints[1], rng) }},
+		seeded: func(p ParsedSpec, seed uint64) (*Graph, error) {
+			return BarabasiAlbertSeeded(p.Ints[0], p.Ints[1], seed)
+		}},
 	"chunglu": {usage: "chunglu:N,B,D", kinds: "iff", random: true,
-		build: func(p ParsedSpec, rng *xrand.RNG) (*Graph, error) {
-			return ChungLu(p.Ints[0], p.Floats[0], p.Floats[1], rng)
+		seeded: func(p ParsedSpec, seed uint64) (*Graph, error) {
+			return ChungLuSeeded(p.Ints[0], p.Floats[0], p.Floats[1], seed)
 		}},
 }
 
@@ -192,15 +200,36 @@ func (p ParsedSpec) Hash() uint64 {
 	return h.Sum64()
 }
 
-// Build constructs the graph. Random families consume randomness from rng;
-// deterministic families ignore it (and convert bad-parameter panics to
-// errors).
+// Build constructs the graph. Random families draw one Uint64 from rng
+// as the sampler seed and build through the streaming edge-stream
+// samplers (see BuildSeeded); deterministic families ignore rng (and
+// convert bad-parameter panics to errors).
 func (p ParsedSpec) Build(rng *xrand.RNG) (*Graph, error) {
 	fam, ok := specFamilies[p.Family]
 	if !ok {
 		return nil, fmt.Errorf("graph: unknown family %q (see the ParseSpec grammar)", p.Family)
 	}
+	if fam.seeded != nil {
+		return fam.seeded(p, rng.Uint64())
+	}
 	return fam.build(p, rng)
+}
+
+// BuildSeeded constructs the graph from an explicit sampler seed. For
+// random families it is the canonical entry point of the replayable
+// edge-stream samplers: the same (spec, seed) always yields a
+// byte-identical CSR, which is what lets realizations be memoized and
+// disk-spilled under SeededKey(p.Canonical(), seed). Deterministic
+// families ignore the seed and build normally.
+func (p ParsedSpec) BuildSeeded(seed uint64) (*Graph, error) {
+	fam, ok := specFamilies[p.Family]
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown family %q (see the ParseSpec grammar)", p.Family)
+	}
+	if fam.seeded != nil {
+		return fam.seeded(p, seed)
+	}
+	return fam.build(p, nil)
 }
 
 // CanonicalSpec parses spec and returns its canonical form.

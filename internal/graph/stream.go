@@ -35,16 +35,26 @@ type StreamSpec struct {
 	// N is the vertex count.
 	N int
 	// M is the exact number of undirected edges Emit produces. Zero means
-	// unknown: BuildStream then runs a count-only prepass (pure arithmetic
-	// for the deterministic families, no allocation) to learn it before
-	// choosing the offset width.
+	// unknown: BuildStream then calls Count when set, or runs a count-only
+	// Emit prepass otherwise, to learn the exact value before choosing the
+	// offset width. Stochastic samplers that know m only after sampling
+	// (gnp, chunglu) leave M zero; those that fix it from parameters
+	// (randreg: nd/2, ba: C(m+1,2)+(n−m−1)m) declare it, and BuildStream
+	// still verifies both passes emit exactly that many edges.
 	M int64
 	// Name is the graph's human-readable name.
 	Name string
 	// Emit calls emit(u, v) exactly once per undirected edge, in any
 	// order. It must be deterministic: BuildStream replays it and requires
-	// the same edges each pass.
+	// the same edges each pass. Random samplers satisfy this with
+	// counter-based streams — reconstructing the same (seed, unit, round)
+	// key replays bit-identical draws on every pass.
 	Emit func(emit func(u, v Vertex))
+	// Count, when non-nil and M is zero, returns the exact number of edges
+	// Emit will produce. It lets samplers that can count cheaper than they
+	// can emit (gnp's skip loop without pair unranking) replace the full
+	// Emit prepass.
+	Count func() int64
 	// Landmarks names vertices for Graph.Landmark.
 	Landmarks map[string]Vertex
 }
@@ -59,7 +69,11 @@ func BuildStream(s StreamSpec) (*Graph, error) {
 	}
 	m := s.M
 	if m == 0 {
-		s.Emit(func(u, v Vertex) { m++ })
+		if s.Count != nil {
+			m = s.Count()
+		} else {
+			s.Emit(func(u, v Vertex) { m++ })
+		}
 	}
 	endpoints := 2 * m
 

@@ -1,6 +1,9 @@
 package xrand
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Counter-based randomness for deterministic parallelism.
 //
@@ -165,6 +168,28 @@ func (s *Stream) Bernoulli(p float64) bool {
 		return true
 	}
 	return s.Float64() < p
+}
+
+// Geometric64 returns a draw from the geometric distribution on
+// {1, 2, ...} with success probability p: the index of the first success
+// in a Bernoulli(p) sequence, sampled by inversion in one Float64 draw.
+// It is the skip-length primitive of the edge-stream samplers (gnp,
+// chunglu), where m expected draws replace n² coin flips. p must be in
+// (0, 1]; int64 range covers every gap a 64-bit pair index can need.
+func (s *Stream) Geometric64(p float64) int64 {
+	if p >= 1 {
+		s.Uint64() // keep draw counts position-independent across p
+		return 1
+	}
+	if p <= 0 {
+		panic("xrand: Geometric64 requires p > 0")
+	}
+	// 1 - Float64() is in (0, 1], so the log is finite and <= 0.
+	g := int64(math.Ceil(math.Log(1-s.Float64()) / math.Log1p(-p)))
+	if g < 1 {
+		return 1
+	}
+	return g
 }
 
 // BernoulliThreshold converts p into a threshold comparable against a raw

@@ -145,6 +145,53 @@ func TestStreamBernoulli(t *testing.T) {
 	}
 }
 
+func TestStreamGeometric64(t *testing.T) {
+	// p >= 1 consumes exactly one draw and returns 1, so skip-sampling
+	// loops advance the stream position identically at every p.
+	a := NewStream(13, 2, 3)
+	if g := a.Geometric64(1); g != 1 {
+		t.Errorf("Geometric64(1) = %d", g)
+	}
+	b := NewStream(13, 2, 3)
+	b.Uint64()
+	if a.Uint64() != b.Uint64() {
+		t.Error("Geometric64(1) did not consume exactly one draw")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Geometric64(0) did not panic")
+			}
+		}()
+		s := NewStream(1, 1, 1)
+		s.Geometric64(0)
+	}()
+
+	// Determinism: same key, same skip sequence.
+	s1, s2 := NewStream(7, 1, 9), NewStream(7, 1, 9)
+	for i := 0; i < 100; i++ {
+		if s1.Geometric64(0.01) != s2.Geometric64(0.01) {
+			t.Fatal("Geometric64 diverged across identical streams")
+		}
+	}
+
+	// Mean: E[G] = 1/p, and the support starts at 1.
+	const p, trials = 0.02, 40000
+	s := NewStream(23, 5, 6)
+	var sum int64
+	for i := 0; i < trials; i++ {
+		g := s.Geometric64(p)
+		if g < 1 {
+			t.Fatalf("Geometric64 returned %d < 1", g)
+		}
+		sum += g
+	}
+	if got := float64(sum) / trials; math.Abs(got-1/p) > 2 {
+		t.Errorf("Geometric64(%g) empirical mean %.2f, want ~%.0f", p, got, 1/p)
+	}
+}
+
 func TestBernoulliThreshold(t *testing.T) {
 	if BernoulliThreshold(0) != 0 {
 		t.Error("threshold(0) != 0")
