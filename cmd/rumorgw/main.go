@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"rumor/internal/admission"
 	"rumor/internal/gateway"
 )
 
@@ -57,6 +58,14 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 		eject     = fs.Int("eject-after", 0, "consecutive failed checks before ejection (0 = default 2)")
 		readmit   = fs.Int("readmit-after", 0, "consecutive passed checks before re-admission (0 = default 2)")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never on the serving port)")
+
+		quotasPath  = fs.String("quotas", "", "per-client quota file (JSON: default quota + per-API-key overrides)")
+		maxInFlight = fs.Int("max-inflight", 0, "submissions dispatched concurrently across all clients (0 = default 256)")
+		admQueue    = fs.Int("admission-queue", 0, "submissions held in the fair queue before shedding (0 = default 1024)")
+		clientRate  = fs.Float64("client-rate", 0, "default per-client sustained submissions/sec (0 = unlimited)")
+		clientBurst = fs.Int("client-burst", 0, "default per-client burst (0 = ceil(rate) when a rate is set)")
+		clientInFl  = fs.Int("client-inflight", 0, "default per-client concurrent submissions (0 = unlimited)")
+		clientQueue = fs.Int("client-queue", 0, "default per-client held submissions (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,16 +73,37 @@ func run(args []string, ready func(net.Addr), stop <-chan struct{}) error {
 	if strings.TrimSpace(*backends) == "" {
 		return fmt.Errorf("-backends is required (comma-separated rumord addresses)")
 	}
+	// CLI defaults seed the quota baseline; a -quotas file's own default
+	// overrides any field it sets (0 in the file inherits the CLI value).
+	quotas := admission.Config{Default: admission.Quota{
+		RatePerSec:  *clientRate,
+		Burst:       *clientBurst,
+		MaxInFlight: *clientInFl,
+		MaxQueue:    *clientQueue,
+	}}
+	if *quotasPath != "" {
+		fileCfg, err := admission.LoadConfig(*quotasPath)
+		if err != nil {
+			return err
+		}
+		quotas = admission.Config{
+			Default: admission.MergeDefaults(quotas.Default, fileCfg.Default),
+			Clients: fileCfg.Clients,
+		}
+	}
 	g, err := gateway.New(gateway.Options{
-		Backends:      strings.Split(*backends, ","),
-		Replicas:      *replicas,
-		Attempts:      *attempts,
-		PerTryTimeout: *perTry,
-		BackoffBase:   *backoff,
-		BackoffMax:    *backMax,
-		CheckInterval: *check,
-		EjectAfter:    *eject,
-		ReadmitAfter:  *readmit,
+		Backends:             strings.Split(*backends, ","),
+		Replicas:             *replicas,
+		Attempts:             *attempts,
+		PerTryTimeout:        *perTry,
+		BackoffBase:          *backoff,
+		BackoffMax:           *backMax,
+		CheckInterval:        *check,
+		EjectAfter:           *eject,
+		ReadmitAfter:         *readmit,
+		Quotas:               quotas,
+		AdmissionMaxInFlight: *maxInFlight,
+		AdmissionMaxQueue:    *admQueue,
 	})
 	if err != nil {
 		return err

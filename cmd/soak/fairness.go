@@ -1,0 +1,324 @@
+package main
+
+// Fairness storm: after the kill-driven storm, the harness turns one
+// API key into a greedy flooder (many workers, a tight quota, barely
+// backing off) and runs a handful of polite keyed clients against the
+// same gateway. The gateway runs under a -quotas file the harness wrote
+// at boot, so the assertions exercise the real admission path end to
+// end: the flooder is throttled with honest Retry-After hints, the
+// polite clients lose nothing and stay byte-identical to the local
+// reference, per-class admission counters account for what each side
+// saw, and the conservation law holds on every mid-run scrape (checked
+// by the monitor).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rumor/internal/admission"
+	"rumor/internal/experiment"
+)
+
+const greedyKey = "greedy"
+
+func politeKey(i int) string { return "polite-" + strconv.Itoa(i) }
+
+// writeQuotasFile writes the quota config the soak gateway boots under:
+// the default class (the keyless kill-storm clients) stays unlimited,
+// the greedy key is rate- and inflight-capped at weight 1, and each
+// polite key runs unlimited at weight 3 — so under saturation the DRR
+// queue serves polite submissions three times as often.
+func writeQuotasFile(dir string, polite int) (string, error) {
+	cfg := admission.Config{
+		Clients: map[string]admission.Quota{
+			greedyKey: {RatePerSec: 40, Burst: 20, MaxInFlight: 16, MaxQueue: 64, Weight: 1},
+		},
+	}
+	for i := 0; i < polite; i++ {
+		cfg.Clients[politeKey(i)] = admission.Quota{Weight: 3}
+	}
+	b, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "quotas.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// fairnessResult is the fairness section of the soak report.
+type fairnessResult struct {
+	Duration        string                      `json:"duration"`
+	GreedyWorkers   int                         `json:"greedyWorkers"`
+	GreedyCompleted int64                       `json:"greedyCompleted"`
+	GreedyThrottled int64                       `json:"greedyThrottled429s"`
+	GreedyShed      int64                       `json:"greedyShed503s"`
+	BadRetryAfter   int64                       `json:"badRetryAfterHints"`
+	PoliteCompleted map[string]int64            `json:"politeCompleted"`
+	PoliteDropped   int64                       `json:"politeDropped"`
+	ClassMetrics    map[string]map[string]int64 `json:"classMetrics,omitempty"`
+}
+
+// runFairness drives the multi-client fairness storm and returns its
+// report section plus the invariants it asserts (folded into the exit
+// verdict by the caller).
+func (h *harness) runFairness(mon *monitor) (*fairnessResult, []invariant) {
+	cfg := h.cfg
+	fmt.Printf("soak: fairness storm: %d greedy workers vs %d polite clients for %v\n",
+		cfg.greedyWorkers, cfg.polite, cfg.fairness)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.fairness)
+	defer cancel()
+
+	var (
+		wg         sync.WaitGroup
+		seq        atomic.Int64 // unique greedy seeds: every flood spec is fresh work
+		greedyDone atomic.Int64
+		greedy429  atomic.Int64
+		greedyShed atomic.Int64
+		badHint    atomic.Int64
+		politeDrop atomic.Int64
+	)
+	politeDone := make([]atomic.Int64, cfg.polite)
+	for w := 0; w < cfg.greedyWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.greedyLoop(ctx, &seq, &greedyDone, &greedy429, &greedyShed, &badHint)
+		}()
+	}
+	for i := 0; i < cfg.polite; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h.politeLoop(ctx, i, &politeDone[i], &politeDrop, &badHint)
+		}(i)
+	}
+	wg.Wait()
+
+	res := &fairnessResult{
+		Duration:        cfg.fairness.String(),
+		GreedyWorkers:   cfg.greedyWorkers,
+		GreedyCompleted: greedyDone.Load(),
+		GreedyThrottled: greedy429.Load(),
+		GreedyShed:      greedyShed.Load(),
+		BadRetryAfter:   badHint.Load(),
+		PoliteDropped:   politeDrop.Load(),
+		PoliteCompleted: map[string]int64{},
+	}
+	for i := range politeDone {
+		res.PoliteCompleted[politeKey(i)] = politeDone[i].Load()
+	}
+
+	var invs []invariant
+	add := func(name string, ok bool, format string, args ...any) {
+		invs = append(invs, invariant{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	add("fairness-polite-zero-drops", res.PoliteDropped == 0,
+		"polite requests dropped=%d (every polite submission must complete within the %v grace)",
+		res.PoliteDropped, cfg.grace)
+	minP, maxP := int64(-1), int64(0)
+	for _, n := range res.PoliteCompleted {
+		if minP < 0 || n < minP {
+			minP = n
+		}
+		if n > maxP {
+			maxP = n
+		}
+	}
+	add("fairness-polite-progress", minP >= 3,
+		"slowest polite client completed %d runs under the flood (want >= 3): %v", minP, res.PoliteCompleted)
+	add("fairness-polite-proportional", maxP > 0 && float64(minP)/float64(maxP) >= 0.25,
+		"polite throughput min/max = %d/%d (equal-weight clients must stay within 4x)", minP, maxP)
+	add("fairness-honest-retry-after", res.BadRetryAfter == 0,
+		"%d throttle/shed responses carried a missing or unparseable Retry-After", res.BadRetryAfter)
+
+	// Per-class admission counters from a fresh gateway scrape: the
+	// flooder must have been throttled by its own quota, the fair queue
+	// must actually have held work, and every client-observed completion
+	// must be covered by its class's accepted counter.
+	sc, err := mon.scrapeOne(h.gwURL + "/metrics")
+	if err != nil {
+		add("fairness-class-metrics", false, "final gateway scrape failed: %v", err)
+		return res, invs
+	}
+	classVal := func(name, class string) int64 {
+		v, _ := sc.Value(name, map[string]string{"class": class})
+		return int64(v)
+	}
+	res.ClassMetrics = map[string]map[string]int64{}
+	for _, class := range append([]string{admission.DefaultClass, greedyKey}, politeKeys(cfg.polite)...) {
+		res.ClassMetrics[class] = map[string]int64{
+			"accepted":  classVal("rumorgw_admission_accepted_total", class),
+			"throttled": classVal("rumorgw_admission_throttled_total", class),
+			"shed":      classVal("rumorgw_admission_shed_total", class),
+			"queued":    classVal("rumorgw_admission_queued_total", class),
+		}
+	}
+	add("fairness-greedy-throttled",
+		res.GreedyThrottled > 0 && res.ClassMetrics[greedyKey]["throttled"] > 0,
+		"greedy saw %d 429s, admission counted throttled{greedy}=%d (both must be > 0)",
+		res.GreedyThrottled, res.ClassMetrics[greedyKey]["throttled"])
+	add("fairness-queueing-observed", int64(sc.Sum("rumorgw_admission_queued_total")) > 0,
+		"fair-queue holds across all classes = %d (the flood must saturate dispatch at least once)",
+		int64(sc.Sum("rumorgw_admission_queued_total")))
+	var uncovered []string
+	for i := range politeDone {
+		if acc, n := res.ClassMetrics[politeKey(i)]["accepted"], politeDone[i].Load(); acc < n {
+			uncovered = append(uncovered, fmt.Sprintf("%s accepted=%d completed=%d", politeKey(i), acc, n))
+		}
+		if thr := res.ClassMetrics[politeKey(i)]["throttled"]; thr != 0 {
+			uncovered = append(uncovered, fmt.Sprintf("%s throttled=%d (unlimited quota)", politeKey(i), thr))
+		}
+	}
+	if acc := res.ClassMetrics[greedyKey]["accepted"]; acc < res.GreedyCompleted {
+		uncovered = append(uncovered, fmt.Sprintf("greedy accepted=%d completed=%d", acc, res.GreedyCompleted))
+	}
+	add("fairness-class-metrics", len(uncovered) == 0,
+		"per-class accepted covers observed completions, polite never throttled %v", uncovered)
+	return res, invs
+}
+
+func politeKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = politeKey(i)
+	}
+	return out
+}
+
+// postKey is post with a client API key attached.
+func (h *harness) postKey(path, key string, body []byte) (status int, hdr http.Header, respBody []byte, err error) {
+	reqCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, "POST", h.gwURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(admission.KeyHeader, key)
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, b, nil
+}
+
+// checkHint counts throttle/shed responses whose Retry-After is missing
+// or not a positive integer — the "honest hints" half of the contract.
+func checkHint(hdr http.Header, bad *atomic.Int64) {
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		bad.Add(1)
+	}
+}
+
+// greedyLoop floods /v1/run under the greedy key with unique seeds
+// (every submission is fresh work, so dedup cannot defuse the flood),
+// barely backing off on throttles — the adversary the quota exists for.
+func (h *harness) greedyLoop(ctx context.Context, seq, done, throttled, shed, badHint *atomic.Int64) {
+	for ctx.Err() == nil {
+		spec := experiment.DefaultRunSpec()
+		spec.Graph = "star:96"
+		spec.Protocol = experiment.ProtoPush
+		spec.Trials = 1
+		spec.Seed = uint64(7_000_000 + seq.Add(1))
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return
+		}
+		status, hdr, _, err := h.postKey("/v1/run", greedyKey, body)
+		switch {
+		case err != nil:
+			sleepCtx(ctx, 50*time.Millisecond)
+		case status == http.StatusOK:
+			done.Add(1)
+		case status == http.StatusTooManyRequests:
+			throttled.Add(1)
+			checkHint(hdr, badHint)
+			sleepCtx(ctx, 25*time.Millisecond) // deliberately ignores the hint
+		case status == http.StatusServiceUnavailable:
+			shed.Add(1)
+			checkHint(hdr, badHint)
+			sleepCtx(ctx, 50*time.Millisecond)
+		case status == http.StatusBadGateway:
+			sleepCtx(ctx, 50*time.Millisecond)
+		default:
+			h.failf("fairness greedy: unexpected status %d", status)
+			return
+		}
+	}
+}
+
+// politeLoop is one well-behaved keyed client: sequential submissions
+// from the precomputed fairness pool, honoring Retry-After, each
+// response checked byte-for-byte against the local reference. A request
+// that cannot complete within the grace budget is a drop — the
+// starvation signal the weights exist to prevent.
+func (h *harness) politeLoop(ctx context.Context, idx int, done, dropped, badHint *atomic.Int64) {
+	key := politeKey(idx)
+	for k := 0; ctx.Err() == nil; k++ {
+		rs := &h.w.fair[(idx*2+k)%len(h.w.fair)]
+		budget := time.Now().Add(h.cfg.grace)
+		for {
+			status, hdr, body, err := h.postKey("/v1/run", key, rs.body)
+			if err == nil && status == http.StatusOK {
+				if !bytes.Equal(body, rs.ref.Body) {
+					h.failf("fairness polite %s: bytes diverged from reference (%d vs %d bytes)",
+						key, len(body), len(rs.ref.Body))
+				} else {
+					done.Add(1)
+				}
+				break
+			}
+			if err == nil {
+				switch status {
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					checkHint(hdr, badHint)
+				case http.StatusBadGateway:
+				default:
+					h.failf("fairness polite %s: unexpected status %d: %s", key, status, truncate(body))
+					return
+				}
+			}
+			if time.Now().After(budget) {
+				dropped.Add(1)
+				break
+			}
+			wait := retryAfterOf(hdr)
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			if wait > 2*time.Second {
+				wait = 2 * time.Second
+			}
+			time.Sleep(wait)
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

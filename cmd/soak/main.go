@@ -60,6 +60,9 @@ func main() {
 	fs.Uint64Var(&cfg.seed, "seed", cfg.seed, "traffic-shape RNG seed")
 	fs.StringVar(&cfg.metricsOut, "metrics-out", cfg.metricsOut, "write the per-run metrics report here (empty = skip)")
 	fs.DurationVar(&cfg.scrape, "scrape-interval", cfg.scrape, "mid-run /metrics scrape interval")
+	fs.DurationVar(&cfg.fairness, "fairness", cfg.fairness, "post-storm fairness phase duration (0 = skip)")
+	fs.IntVar(&cfg.greedyWorkers, "greedy-workers", cfg.greedyWorkers, "flooding workers on the greedy key during the fairness phase")
+	fs.IntVar(&cfg.polite, "polite", cfg.polite, "well-behaved keyed clients during the fairness phase")
 	fs.BoolVar(&cfg.verbose, "v", false, "pipe process logs to stderr and log every retry")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -83,6 +86,12 @@ type config struct {
 	seed       uint64
 	metricsOut string
 	verbose    bool
+
+	// fairness phase: a greedy keyed flooder vs polite keyed clients
+	// against the quota file the harness writes at boot.
+	fairness      time.Duration
+	greedyWorkers int
+	polite        int
 }
 
 func defaultConfig() config {
@@ -96,6 +105,10 @@ func defaultConfig() config {
 		scrape:     500 * time.Millisecond,
 		seed:       1,
 		metricsOut: "SOAK_METRICS.json",
+
+		fairness:      8 * time.Second,
+		greedyWorkers: 12,
+		polite:        3,
 	}
 }
 
@@ -110,6 +123,10 @@ type workload struct {
 	hot  []refSpec
 	// sweeps are fixed sweep requests with assembled references.
 	sweeps []refSweep
+	// fair is the polite clients' pool for the fairness phase: seeds
+	// disjoint from both the storm specs and the greedy flood, so the
+	// phase does fresh work instead of replaying the storm's cache.
+	fair []refSpec
 }
 
 type refSpec struct {
@@ -170,6 +187,18 @@ func buildWorkload() (*workload, error) {
 			return nil, err
 		}
 		w.sweeps = append(w.sweeps, refSweep{body: body, ref: ref})
+	}
+	for i := 0; i < 6; i++ {
+		spec := experiment.DefaultRunSpec()
+		spec.Graph = graphs[i%len(graphs)]
+		spec.Protocol = protos[i%len(protos)]
+		spec.Trials = 2
+		spec.Seed = uint64(900_000 + i)
+		rs, err := makeRefSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		w.fair = append(w.fair, rs)
 	}
 	return w, nil
 }
@@ -424,13 +453,26 @@ func run(cfg config) error {
 	for i, b := range h.backends {
 		addrs[i] = b.addr
 	}
-	gw, err := sv.spawn("rumorgw", gwBin,
+	// The gateway admits at most backends*workers concurrent submissions
+	// (matching real dispatch capacity) under the harness's quota file —
+	// storm clients are keyless and unlimited, the fairness keys are not.
+	gwArgs := []string{
 		"-addr", "127.0.0.1:0",
 		"-backends", strings.Join(addrs, ","),
 		"-check-interval", "150ms",
 		"-attempts", "4",
 		"-backoff", "25ms",
-		"-per-try-timeout", "10s")
+		"-per-try-timeout", "10s",
+		"-max-inflight", strconv.Itoa(cfg.backends * 2),
+	}
+	if cfg.fairness > 0 {
+		quotasPath, err := writeQuotasFile(dir, cfg.polite)
+		if err != nil {
+			return fmt.Errorf("write quotas file: %w", err)
+		}
+		gwArgs = append(gwArgs, "-quotas", quotasPath)
+	}
+	gw, err := sv.spawn("rumorgw", gwBin, gwArgs...)
 	if err != nil {
 		return err
 	}
@@ -448,13 +490,16 @@ func run(cfg config) error {
 	defer cancel()
 
 	// Metrics monitor: scrapes /metrics across the tier for the whole
-	// storm, so the endpoints are exercised under kills, not just after.
+	// storm AND the fairness phase, so the endpoints (and the per-scrape
+	// admission conservation law) are exercised under load, not just after.
 	mon := newMonitor(h.client, h.gwURL, h.backends)
+	monCtx, monCancel := context.WithCancel(context.Background())
+	defer monCancel()
 	var monWG sync.WaitGroup
 	monWG.Add(1)
 	go func() {
 		defer monWG.Done()
-		mon.loop(ctx, cfg.scrape)
+		mon.loop(monCtx, cfg.scrape)
 	}()
 
 	killsDone, restartsDone, killErr := 0, 0, error(nil)
@@ -487,6 +532,15 @@ func run(cfg config) error {
 		}(c)
 	}
 	wg.Wait()
+
+	// Fairness phase: with the whole tier back up, the greedy flooder
+	// and the polite keyed clients contend for the same admission slots.
+	var fair *fairnessResult
+	var fairInvs []invariant
+	if killErr == nil && cfg.fairness > 0 && cfg.greedyWorkers > 0 && cfg.polite > 0 {
+		fair, fairInvs = h.runFairness(mon)
+	}
+	monCancel()
 	monWG.Wait()
 	elapsed := time.Since(start)
 
@@ -500,6 +554,7 @@ func run(cfg config) error {
 		killed[a] = true
 	}
 	invs := mon.checkInvariants(gwStats, gwErr, killsDone, killed, h.observedSources())
+	invs = append(invs, fairInvs...)
 	failedInvs := 0
 	for _, inv := range invs {
 		if !inv.OK {
@@ -507,7 +562,7 @@ func run(cfg config) error {
 		}
 	}
 	if cfg.metricsOut != "" {
-		rep := mon.buildReport(cfg, killsDone, killedAddrs, h.observedSources(), invs)
+		rep := mon.buildReport(cfg, killsDone, killedAddrs, h.observedSources(), invs, fair)
 		if err := writeReport(cfg.metricsOut, rep); err != nil {
 			return fmt.Errorf("write %s: %w", cfg.metricsOut, err)
 		}
@@ -529,6 +584,11 @@ func run(cfg config) error {
 	}
 	fmt.Printf("backends: kills=%d restarts=%d dedup+cache collapses (surviving counters)=%d\n",
 		killsDone, restartsDone, collapsed)
+	if fair != nil {
+		fmt.Printf("fairness: greedy completed=%d throttled=%d shed=%d badHints=%d; polite completed=%v dropped=%d\n",
+			fair.GreedyCompleted, fair.GreedyThrottled, fair.GreedyShed, fair.BadRetryAfter,
+			fair.PoliteCompleted, fair.PoliteDropped)
+	}
 	fmt.Printf("metrics: %d invariants, %d failed", len(invs), failedInvs)
 	if cfg.metricsOut != "" {
 		fmt.Printf(" (report: %s)", cfg.metricsOut)

@@ -41,6 +41,14 @@ type monitor struct {
 	be       map[string]*metrics.Scrape
 	badText  []string // capped: non-200s and parse failures
 	badCount int64
+
+	// admission conservation, checked on EVERY successful gateway scrape:
+	// submitted == accepted + throttled + shed + canceled + queue
+	// occupancy, exact, because the gateway renders all admission series
+	// from one snapshot per exposition.
+	admChecked  int64
+	admBadCount int64
+	admBad      []string // capped violation samples
 }
 
 func newMonitor(client *http.Client, gwURL string, slots []*backendSlot) *monitor {
@@ -83,6 +91,30 @@ func (m *monitor) scrapeGateway() {
 	}
 	m.gwOK++
 	m.gw = sc
+	m.admChecked++
+	if detail, ok := admissionConserved(sc); !ok {
+		m.admBadCount++
+		if len(m.admBad) < 10 {
+			m.admBad = append(m.admBad, detail)
+		}
+	}
+}
+
+// admissionConserved checks the admission conservation law on one
+// gateway scrape. Counters sum across classes; the queue-occupancy gauge
+// closes the books on submissions still held.
+func admissionConserved(sc *metrics.Scrape) (string, bool) {
+	sub := int64(sc.Sum("rumorgw_admission_submitted_total"))
+	acc := int64(sc.Sum("rumorgw_admission_accepted_total"))
+	thr := int64(sc.Sum("rumorgw_admission_throttled_total"))
+	shed := int64(sc.Sum("rumorgw_admission_shed_total"))
+	can := int64(sc.Sum("rumorgw_admission_canceled_total"))
+	occ := int64(sc.Sum("rumorgw_admission_queue_occupancy"))
+	if sub != acc+thr+shed+can+occ {
+		return fmt.Sprintf("submitted=%d != accepted=%d + throttled=%d + shed=%d + canceled=%d + queue=%d",
+			sub, acc, thr, shed, can, occ), false
+	}
+	return "", true
 }
 
 func (m *monitor) scrapeBackend(addr string) {
@@ -177,6 +209,11 @@ func (m *monitor) checkInvariants(gwStats gwSnapshot, gwErr error, killsDone int
 	}
 	add("scrapes-during-run", allScraped, "successful scrapes: %s", strings.Join(scrapeDetail, " "))
 	add("scrapes-well-formed", m.badCount == 0, "%d malformed or non-200 scrapes %v", m.badCount, m.badText)
+
+	// Admission conservation must have held on every gateway scrape taken
+	// while traffic (and kills) were in flight — not just the final one.
+	add("admission-conservation-per-scrape", m.admChecked > 0 && m.admBadCount == 0,
+		"checked on %d scrapes, %d violations %v", m.admChecked, m.admBadCount, m.admBad)
 
 	// Final scrapes exist for everything (the killer restarts every
 	// victim, so the whole tier is up once traffic stops).
@@ -358,13 +395,14 @@ type soakReport struct {
 	Gateway        map[string]int64            `json:"gateway"`
 	BackendState   map[string]*backendReport   `json:"backendMetrics"`
 	Observed       map[string]map[string]int64 `json:"observedSources"`
+	Fairness       *fairnessResult             `json:"fairness,omitempty"`
 	Invariants     []invariant                 `json:"invariants"`
 	Pass           bool                        `json:"pass"`
 }
 
 // buildReport assembles the persisted SOAK_METRICS.json document from
 // the final scrapes plus the invariant outcomes.
-func (m *monitor) buildReport(cfg config, killsDone int, killedAddrs []string, observed map[string]map[string]int64, invs []invariant) *soakReport {
+func (m *monitor) buildReport(cfg config, killsDone int, killedAddrs []string, observed map[string]map[string]int64, invs []invariant, fair *fairnessResult) *soakReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	killed := map[string]bool{}
@@ -378,6 +416,7 @@ func (m *monitor) buildReport(cfg config, killsDone int, killedAddrs []string, o
 		Gateway:        map[string]int64{},
 		BackendState:   map[string]*backendReport{},
 		Observed:       observed,
+		Fairness:       fair,
 		Invariants:     invs,
 		Pass:           true,
 	}
@@ -393,6 +432,9 @@ func (m *monitor) buildReport(cfg config, killsDone int, killedAddrs []string, o
 			"rumorgw_stream_resumes_total", "rumorgw_stream_reruns_total",
 			"rumorgw_backend_ejections_total", "rumorgw_backend_readmissions_total",
 			"rumorgw_ring_backends", "rumorgw_healthy_backends",
+			"rumorgw_admission_submitted_total", "rumorgw_admission_accepted_total",
+			"rumorgw_admission_throttled_total", "rumorgw_admission_shed_total",
+			"rumorgw_admission_canceled_total", "rumorgw_admission_queued_total",
 		} {
 			rep.Gateway[n] = int64(m.gw.Sum(n))
 		}

@@ -1,0 +1,112 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket with integer nanosecond accounting: one token
+// costs period nanoseconds, refills advance the bookmark only by whole
+// token-periods, and the fractional remainder is never discarded — so
+// over any interval the admitted count is exactly
+// min(burst + elapsed/period, requests), with no float drift. Time is
+// passed in by the caller, which makes the bucket trivially testable on
+// a fake clock and keeps the hot path free of time syscalls the caller
+// already paid for.
+//
+// The zero value is unusable; construct with NewBucket. All methods are
+// safe for concurrent use, and Allow performs no allocation.
+type Bucket struct {
+	mu     sync.Mutex
+	period int64 // ns per token
+	burst  int64 // max tokens
+	tokens int64 // tokens available now
+	last   int64 // unixnano bookmark of the last whole-token refill
+	primed bool  // bookmark initialized by the first call
+}
+
+// NewBucket builds a bucket admitting ratePerSec sustained tokens per
+// second with the given burst depth. ratePerSec must be positive (a
+// non-positive rate means "unlimited" to callers, who should not build a
+// bucket at all); burst < 1 is clamped to 1 so a configured rate always
+// admits something.
+func NewBucket(ratePerSec float64, burst int) *Bucket {
+	period := int64(float64(time.Second) / ratePerSec)
+	if period < 1 {
+		period = 1 // >1e9 tokens/s: saturate at one per nanosecond
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{period: period, burst: int64(burst), tokens: int64(burst)}
+}
+
+// refillLocked credits the whole tokens earned since last and advances
+// the bookmark by exactly the nanoseconds those tokens cost, preserving
+// the remainder. At the cap the bookmark snaps to now: a full bucket
+// earns nothing, so idle time must not bank beyond burst.
+func (b *Bucket) refillLocked(now int64) {
+	if !b.primed {
+		b.primed = true
+		b.last = now
+		return
+	}
+	if b.tokens >= b.burst {
+		b.last = now
+		return
+	}
+	elapsed := now - b.last
+	if elapsed <= 0 {
+		return
+	}
+	earned := elapsed / b.period
+	if earned > b.burst-b.tokens {
+		earned = b.burst - b.tokens
+		b.last = now // capped: the excess interval is forfeit, like idle time
+	} else {
+		b.last += earned * b.period
+	}
+	b.tokens += earned
+}
+
+// Allow consumes one token if available at instant now, reporting
+// whether it did. The hot path allocates nothing.
+func (b *Bucket) Allow(now time.Time) bool {
+	n := now.UnixNano()
+	b.mu.Lock()
+	b.refillLocked(n)
+	ok := b.tokens > 0
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	return ok
+}
+
+// NextToken reports how long after now the next token becomes available
+// — zero when one is available already. This is the honest Retry-After
+// for a rate-throttled client.
+func (b *Bucket) NextToken(now time.Time) time.Duration {
+	n := now.UnixNano()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(n)
+	if b.tokens > 0 {
+		return 0
+	}
+	wait := b.last + b.period - n
+	if wait < 0 {
+		wait = 0
+	}
+	return time.Duration(wait)
+}
+
+// Tokens reports the tokens available at instant now (tests and
+// introspection).
+func (b *Bucket) Tokens(now time.Time) int {
+	n := now.UnixNano()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(n)
+	return int(b.tokens)
+}

@@ -1,0 +1,164 @@
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for bucket conformance tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// TestBucketBurstThenSustain drives the canonical shape: the full burst
+// up front, then exactly rate tokens per second, with fractional refill
+// carried exactly across steps.
+func TestBucketBurstThenSustain(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(10, 5)
+
+	for i := 0; i < 5; i++ {
+		if !b.Allow(clk.now()) {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if b.Allow(clk.now()) {
+		t.Fatal("6th immediate token allowed past burst 5")
+	}
+	if wait := b.NextToken(clk.now()); wait != 100*time.Millisecond {
+		t.Fatalf("NextToken = %v, want exactly 100ms at 10/s", wait)
+	}
+
+	// Sustain: one token per 100ms step, never more, for 5 simulated
+	// seconds.
+	allowed := 0
+	for step := 0; step < 50; step++ {
+		now := clk.advance(100 * time.Millisecond)
+		if !b.Allow(now) {
+			t.Fatalf("step %d: sustained token refused", step)
+		}
+		allowed++
+		if b.Allow(now) {
+			t.Fatalf("step %d: second token inside one period allowed", step)
+		}
+	}
+	if allowed != 50 {
+		t.Fatalf("sustained phase allowed %d, want 50", allowed)
+	}
+
+	// Idle refill caps at burst: a long sleep banks 5, not 50.
+	now := clk.advance(5 * time.Second)
+	if got := b.Tokens(now); got != 5 {
+		t.Fatalf("after long idle Tokens = %d, want burst cap 5", got)
+	}
+}
+
+// TestBucketFractionalExactness uses a rate whose period does not divide
+// the step: 3/s polled every 100ms for 10s must admit exactly 30 — any
+// remainder truncation per step would lose ~3 of them.
+func TestBucketFractionalExactness(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(3, 1)
+	if !b.Allow(clk.now()) {
+		t.Fatal("initial burst token refused")
+	}
+	allowed := 0
+	for step := 0; step < 100; step++ {
+		now := clk.advance(100 * time.Millisecond)
+		for b.Allow(now) {
+			allowed++
+		}
+	}
+	if allowed != 30 {
+		t.Fatalf("10s at 3/s admitted %d, want exactly 30", allowed)
+	}
+}
+
+// TestBucketConcurrentExactness hammers Allow from many goroutines at a
+// frozen instant — exactly burst must pass — then advances the clock
+// once and hammers again — exactly rate x elapsed more. Run under -race
+// in CI, this also proves the locking.
+func TestBucketConcurrentExactness(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(10, 25)
+	hammer := func(now time.Time, tries int) int64 {
+		var allowed atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < tries; i++ {
+					if b.Allow(now) {
+						allowed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return allowed.Load()
+	}
+	if got := hammer(clk.now(), 50); got != 25 {
+		t.Fatalf("frozen clock admitted %d, want exactly burst 25", got)
+	}
+	if got := hammer(clk.advance(2*time.Second), 50); got != 20 {
+		t.Fatalf("after 2s at 10/s admitted %d, want exactly 20", got)
+	}
+	if got := hammer(clk.advance(500*time.Millisecond), 50); got != 5 {
+		t.Fatalf("after 500ms at 10/s admitted %d, want exactly 5", got)
+	}
+}
+
+// TestBucketExtremeRates pins the clamps: a rate above 1e9/s saturates
+// at one token per nanosecond instead of dividing by zero, and burst < 1
+// still admits.
+func TestBucketExtremeRates(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(5e9, 0)
+	if !b.Allow(clk.now()) {
+		t.Fatal("clamped-burst bucket refused its one token")
+	}
+	if b.period != 1 {
+		t.Fatalf("period = %dns, want clamp to 1ns", b.period)
+	}
+	now := clk.advance(3 * time.Nanosecond)
+	if got := b.Tokens(now); got != 1 {
+		t.Fatalf("Tokens = %d, want burst cap 1", got)
+	}
+}
+
+// TestBucketAllowZeroAlloc pins the hot path at zero allocations.
+func TestBucketAllowZeroAlloc(t *testing.T) {
+	b := NewBucket(1e6, 1<<30)
+	now := time.Unix(1_700_000_000, 0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		b.Allow(now)
+	}); avg != 0 {
+		t.Fatalf("Allow allocates %.1f per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		b.NextToken(now)
+	}); avg != 0 {
+		t.Fatalf("NextToken allocates %.1f per call, want 0", avg)
+	}
+}

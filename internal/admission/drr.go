@@ -1,0 +1,113 @@
+package admission
+
+// drr is a weighted deficit-round-robin queue over unit-cost items: the
+// scheduler that decides which held submission dispatches next when the
+// gateway is saturated. Each flow (client) owns a FIFO of items and a
+// weight; a round visits active flows in a fixed rotation, crediting a
+// flow quantum×weight deficit when its turn begins and serving one item
+// per deficit point. Over any backlogged interval every active flow is
+// served within ±1 quantum×weight of its proportional share, and every
+// non-empty flow is served at least once per full round — the two
+// properties the property-based test in drr_test.go pins.
+//
+// Items cost 1 each (every submission is one simulation job; job cost is
+// the backend's problem, placement is the ring's), so quantum 1 gives
+// exact weight-proportional interleaving.
+//
+// Not safe for concurrent use; the Controller serializes access.
+type drr[T any] struct {
+	quantum int
+	flows   map[string]*drrFlow[T]
+	active  []*drrFlow[T] // rotation order; index 0 is the cursor's flow
+	size    int
+}
+
+type drrFlow[T any] struct {
+	key     string
+	weight  int
+	deficit int
+	items   []T
+	head    int // index of the first unserved item (amortized pop)
+	queued  bool
+}
+
+func newDRR[T any](quantum int) *drr[T] {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &drr[T]{quantum: quantum, flows: map[string]*drrFlow[T]{}}
+}
+
+// Len reports the queued item count.
+func (d *drr[T]) Len() int { return d.size }
+
+// Push appends v to key's flow, activating the flow at the back of the
+// rotation if it was idle. weight applies from the flow's next quantum
+// grant (re-pushing with a changed weight re-weights future rounds).
+func (d *drr[T]) Push(key string, weight int, v T) {
+	if weight < 1 {
+		weight = 1
+	}
+	f := d.flows[key]
+	if f == nil {
+		f = &drrFlow[T]{key: key}
+		d.flows[key] = f
+	}
+	f.weight = weight
+	f.items = append(f.items, v)
+	d.size++
+	if !f.queued {
+		f.queued = true
+		f.deficit = 0 // a fresh activation earns its quantum at its turn
+		d.active = append(d.active, f)
+	}
+}
+
+// Pop serves the next item under the DRR discipline. ok is false when
+// the queue is empty.
+func (d *drr[T]) Pop() (v T, ok bool) {
+	for d.size > 0 {
+		f := d.active[0]
+		if f.head >= len(f.items) {
+			// Emptied by earlier pops this visit; deactivate. Deficit does
+			// not carry across idle periods (classic DRR: an idle flow must
+			// not bank credit).
+			d.deactivateFront()
+			continue
+		}
+		if f.deficit == 0 {
+			f.deficit = d.quantum * f.weight
+		}
+		v = f.items[f.head]
+		var zero T
+		f.items[f.head] = zero // release the reference for GC
+		f.head++
+		f.deficit--
+		d.size--
+		if f.head >= len(f.items) {
+			d.deactivateFront()
+		} else if f.deficit == 0 {
+			d.rotateFront()
+		}
+		return v, true
+	}
+	return v, false
+}
+
+func (d *drr[T]) deactivateFront() {
+	f := d.active[0]
+	f.queued = false
+	f.deficit = 0
+	f.items = f.items[:0]
+	f.head = 0
+	d.active = d.active[1:]
+	if len(d.active) == 0 {
+		d.active = nil // let the backing array go once the queue drains
+	}
+}
+
+func (d *drr[T]) rotateFront() {
+	f := d.active[0]
+	copy(d.active, d.active[1:])
+	d.active[len(d.active)-1] = f
+}

@@ -1,0 +1,110 @@
+package admission
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestIdentityTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		key     string
+		addr    string
+		wantID  string
+		wantKey bool
+	}{
+		{"valid key wins over addr", "team-a_1.prod", "10.0.0.1:443", "key:team-a_1.prod", true},
+		{"empty key falls back to addr", "", "10.0.0.1:443", "addr:10.0.0.1", false},
+		{"key with space rejected", "team a", "10.0.0.1:443", "addr:10.0.0.1", false},
+		{"key with unicode rejected", "tëam", "10.0.0.1:443", "addr:10.0.0.1", false},
+		{"overlong key rejected", strings.Repeat("k", 65), "10.0.0.1:443", "addr:10.0.0.1", false},
+		{"max-length key accepted", strings.Repeat("k", 64), "", "key:" + strings.Repeat("k", 64), true},
+		{"ipv6 bracketed with port", "", "[::1]:8080", "addr:::1", false},
+		{"ipv6 long form canonicalized", "", "[0:0:0:0:0:0:0:1]:9", "addr:::1", false},
+		{"ipv6 zone stripped", "", "[fe80::1%eth0]:5", "addr:fe80::1", false},
+		{"ipv4-in-ipv6 unmapped", "", "[::ffff:10.0.0.1]:7", "addr:10.0.0.1", false},
+		{"bare host no port", "", "10.0.0.1", "addr:10.0.0.1", false},
+		{"bare bracketed ipv6", "", "[::1]", "addr:::1", false},
+		{"hostname unparseable", "", "localhost:80", sharedIdentity, false},
+		{"garbage unparseable", "", "not an address at all", sharedIdentity, false},
+		{"empty everything", "", "", sharedIdentity, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id, keyed := Identity(tc.key, tc.addr)
+			if id != tc.wantID || keyed != tc.wantKey {
+				t.Fatalf("Identity(%q, %q) = (%q, %v), want (%q, %v)",
+					tc.key, tc.addr, id, keyed, tc.wantID, tc.wantKey)
+			}
+		})
+	}
+}
+
+// TestIdentityOneClientOneBucket pins the anti-splitting property the
+// fuzz target generalizes: every spelling of one IPv6 host maps to one
+// identity.
+func TestIdentityOneClientOneBucket(t *testing.T) {
+	spellings := []string{
+		"[2001:db8::1]:1", "[2001:db8::1]:2", "[2001:db8:0:0:0:0:0:1]:3",
+		"[2001:DB8::1]:4", "2001:db8::1",
+	}
+	want, _ := Identity("", spellings[0])
+	for _, s := range spellings[1:] {
+		if got, _ := Identity("", s); got != want {
+			t.Fatalf("spelling %q split the client: %q vs %q", s, got, want)
+		}
+	}
+}
+
+// FuzzIdentity throws hostile keys and addresses at the extractor. The
+// invariants: never panic, always a non-empty identity, valid keys win
+// verbatim, invalid keys never leak into a key: identity, and address
+// identities are canonical fixpoints (re-parsing the rendered address
+// yields the same identity — one client can never split into many by
+// re-spelling itself).
+func FuzzIdentity(f *testing.F) {
+	f.Add("team-a", "10.0.0.1:443")
+	f.Add("", "[::1]:8080")
+	f.Add(strings.Repeat("x", 200), "[fe80::1%25eth0]:5")
+	f.Add("k\x00y", "[::ffff:10.0.0.1]:7")
+	f.Add("", "999.1.1.1:2")
+	f.Fuzz(func(t *testing.T, key, addr string) {
+		id, keyed := Identity(key, addr)
+		if id == "" {
+			t.Fatal("empty identity")
+		}
+		again, keyedAgain := Identity(key, addr)
+		if id != again || keyed != keyedAgain {
+			t.Fatalf("not deterministic: %q vs %q", id, again)
+		}
+		switch {
+		case ValidKey(key):
+			if !keyed || id != "key:"+key {
+				t.Fatalf("valid key %q mapped to %q (keyed=%v)", key, id, keyed)
+			}
+		default:
+			if keyed || strings.HasPrefix(id, "key:") {
+				t.Fatalf("invalid key %q leaked into identity %q", key, id)
+			}
+			if !strings.HasPrefix(id, "addr:") {
+				t.Fatalf("fallback identity %q lacks addr: prefix", id)
+			}
+			if id != sharedIdentity {
+				// Canonical fixpoint: the rendered address re-identifies to
+				// itself.
+				rendered := strings.TrimPrefix(id, "addr:")
+				a, err := netip.ParseAddr(rendered)
+				if err != nil {
+					t.Fatalf("identity %q does not round-trip: %v", id, err)
+				}
+				if a.String() != rendered {
+					t.Fatalf("identity %q is not canonical (re-renders as %q)", rendered, a.String())
+				}
+				if re, _ := Identity("", rendered); re != id {
+					t.Fatalf("identity %q re-identifies as %q — one client split into two", id, re)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package admission
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Quota is one client class's limits. In a Config, a zero field on a
+// client override inherits the default; -1 means explicitly unlimited
+// (distinguishable from "inherit" because 0 already means that). After
+// Config normalization, callers see resolved quotas where <= 0 means
+// unlimited for every field except Weight, which is clamped to >= 1.
+type Quota struct {
+	// RatePerSec is the sustained submission rate (token-bucket refill).
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
+	// Burst is the token-bucket depth; defaults to ceil(RatePerSec),
+	// min 1, when a rate is set without one.
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight caps this client's concurrently dispatched submissions.
+	MaxInFlight int `json:"maxInFlight,omitempty"`
+	// MaxQueue caps this client's held (fair-queued) submissions.
+	MaxQueue int `json:"maxQueue,omitempty"`
+	// Weight is the client's DRR share when the gateway is saturated.
+	Weight int `json:"weight,omitempty"`
+}
+
+// Config is the quota configuration: a default applied to every client
+// plus per-API-key overrides. The zero value means "no limits beyond the
+// controller's global caps" — every client unlimited, weight 1.
+type Config struct {
+	Default Quota            `json:"default"`
+	Clients map[string]Quota `json:"clients,omitempty"`
+}
+
+// LoadConfig reads a quota file: strict JSON (unknown fields rejected),
+// override keys must be valid API keys, and no field may be below -1.
+func LoadConfig(path string) (Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("quotas %s: %w", path, err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("quotas %s: unexpected content after the JSON object", path)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("quotas %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Validate rejects malformed quota values and override keys that no
+// request could ever present (they would be dead configuration).
+func (c Config) Validate() error {
+	if err := validQuota("default", c.Default); err != nil {
+		return err
+	}
+	for key, q := range c.Clients {
+		if !ValidKey(key) {
+			return fmt.Errorf("client key %q is not a valid API key (1..%d chars of [A-Za-z0-9._-])", key, maxKeyLen)
+		}
+		if err := validQuota("client "+key, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validQuota(who string, q Quota) error {
+	if q.RatePerSec < -1 || q.Burst < -1 || q.MaxInFlight < -1 || q.MaxQueue < -1 || q.Weight < -1 {
+		return fmt.Errorf("%s: quota fields must be >= -1 (0 inherits, -1 means unlimited)", who)
+	}
+	return nil
+}
+
+// resolve returns the effective quota and metric class for an identity.
+// Keyed clients with an override get their own class (the override key,
+// a bounded set drawn from configuration); everyone else shares the
+// default quota and the "default" class, keeping metric cardinality
+// bounded no matter how many distinct clients connect.
+func (c Config) resolve(apiKey string, keyed bool) (class string, q Quota) {
+	if keyed {
+		if over, ok := c.Clients[apiKey]; ok {
+			return apiKey, mergeQuota(c.Default, over)
+		}
+	}
+	return DefaultClass, normalizeQuota(c.Default)
+}
+
+// Classes returns every metric class the config can produce, sorted,
+// "default" first — the pre-registered label inventory for the
+// per-class admission series.
+func (c Config) Classes() []string {
+	keys := make([]string, 0, len(c.Clients))
+	for k := range c.Clients {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return append([]string{DefaultClass}, keys...)
+}
+
+// DefaultClass is the metric class of every client without a configured
+// override.
+const DefaultClass = "default"
+
+// MergeDefaults overlays one quota on a baseline with the config-file
+// semantics: zero fields inherit the baseline, -1 pins unlimited,
+// anything else replaces. Exposed so a quota file's default can refine
+// CLI-flag defaults without erasing them.
+func MergeDefaults(base, over Quota) Quota {
+	pickF := func(o, d float64) float64 {
+		if o != 0 {
+			return o
+		}
+		return d
+	}
+	pickI := func(o, d int) int {
+		if o != 0 {
+			return o
+		}
+		return d
+	}
+	return Quota{
+		RatePerSec:  pickF(over.RatePerSec, base.RatePerSec),
+		Burst:       pickI(over.Burst, base.Burst),
+		MaxInFlight: pickI(over.MaxInFlight, base.MaxInFlight),
+		MaxQueue:    pickI(over.MaxQueue, base.MaxQueue),
+		Weight:      pickI(over.Weight, base.Weight),
+	}
+}
+
+// mergeQuota overlays an override on the default: zero fields inherit,
+// -1 pins unlimited, anything else replaces.
+func mergeQuota(def, over Quota) Quota {
+	return normalizeQuota(MergeDefaults(def, over))
+}
+
+// normalizeQuota maps the config encoding to runtime semantics: -1 (and
+// any negative) becomes 0 = unlimited, Weight is clamped to >= 1, and a
+// rate without a burst earns a burst of ceil(rate) (min 1) so sustained
+// conformance does not require sub-second client pacing.
+func normalizeQuota(q Quota) Quota {
+	if q.RatePerSec < 0 {
+		q.RatePerSec = 0
+	}
+	if q.Burst < 0 {
+		q.Burst = 0
+	}
+	if q.MaxInFlight < 0 {
+		q.MaxInFlight = 0
+	}
+	if q.MaxQueue < 0 {
+		q.MaxQueue = 0
+	}
+	if q.Weight < 1 {
+		q.Weight = 1
+	}
+	if q.RatePerSec > 0 && q.Burst == 0 {
+		q.Burst = int(q.RatePerSec)
+		if float64(q.Burst) < q.RatePerSec {
+			q.Burst++
+		}
+		if q.Burst < 1 {
+			q.Burst = 1
+		}
+	}
+	return q
+}

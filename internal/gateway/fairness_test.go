@@ -1,0 +1,334 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rumor/internal/admission"
+	"rumor/internal/experiment"
+	"rumor/internal/metrics"
+	"rumor/internal/serve"
+)
+
+// postWithKey submits specBody to the gateway under an API key and
+// returns status, headers, and body.
+func postWithKey(t *testing.T, url, key, body string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(admission.KeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+func runSpec(seed uint64) string {
+	return fmt.Sprintf(`{"graph":"star:16","protocol":"push","trials":2,"seed":%d}`, seed)
+}
+
+// TestFairnessGreedyAndPolite is the end-to-end fairness scenario: one
+// greedy keyed client floods the gateway while a polite weighted client
+// submits sequentially through the same saturated admission layer.
+// Polite must see zero throttles and byte-identical results; greedy must
+// be throttled with honest Retry-After headers; the conservation law
+// must hold on the final snapshot; the queue-wait histogram must have
+// observed the congestion.
+func TestFairnessGreedyAndPolite(t *testing.T) {
+	newBackendServer := func() *httptest.Server {
+		s, err := serve.New(serve.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		})
+		return ts
+	}
+	b1, b2 := newBackendServer(), newBackendServer()
+	g := newGateway(t, Options{
+		Backends:             []string{hostPort(t, b1.URL), hostPort(t, b2.URL)},
+		AdmissionMaxInFlight: 2, // matches the backends' aggregate workers
+		Quotas: admission.Config{
+			Clients: map[string]admission.Quota{
+				"greedy": {MaxInFlight: 4, MaxQueue: 4, Weight: 1},
+				"polite": {Weight: 4},
+			},
+		},
+	})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// Greedy flood: 12 workers hammering distinct specs, far past the
+	// client's 4-in-flight / 4-queued quota.
+	var greedy429, greedyBadHint atomic.Int64
+	stop := make(chan struct{})
+	var flood sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		flood.Add(1)
+		go func(w int) {
+			defer flood.Done()
+			for seed := uint64(0); ; seed++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, hdr, _ := postWithKey(t, ts.URL, "greedy", runSpec(1000+uint64(w)*1000+seed))
+				if code == http.StatusTooManyRequests {
+					greedy429.Add(1)
+					if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+						greedyBadHint.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Polite client: sequential requests through the same congestion,
+	// each checked byte-for-byte against the local reference oracle.
+	const politeRuns = 6
+	var politeWorst time.Duration
+	for i := 0; i < politeRuns; i++ {
+		body := runSpec(uint64(900000 + i)) // a seed space the flood cannot reach
+		spec := experiment.DefaultRunSpec()
+		if err := json.Unmarshal([]byte(body), &spec); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := serve.ComputeReference(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		code, _, got := postWithKey(t, ts.URL, "polite", body)
+		elapsed := time.Since(start)
+		if elapsed > politeWorst {
+			politeWorst = elapsed
+		}
+		if code != http.StatusOK {
+			t.Fatalf("polite run %d: status %d (%s) — a polite client must never be dropped", i, code, got)
+		}
+		if string(got) != string(ref.Body) {
+			t.Fatalf("polite run %d: body differs from the reference oracle", i)
+		}
+	}
+	close(stop)
+	flood.Wait()
+
+	if politeWorst > 15*time.Second {
+		t.Fatalf("polite worst-case latency %v: starved behind the greedy flood", politeWorst)
+	}
+	if greedy429.Load() == 0 {
+		t.Fatal("greedy flood saw zero 429s: per-client quotas not enforced")
+	}
+	if n := greedyBadHint.Load(); n != 0 {
+		t.Fatalf("%d greedy 429s carried no usable Retry-After", n)
+	}
+
+	st := g.Admission()
+	total := st.Dispatched + st.Throttled + st.Shed + st.Canceled + int64(st.QueueLen)
+	if st.Submitted != total {
+		t.Fatalf("conservation broken: submitted=%d vs accounted=%d (%+v)", st.Submitted, total, st)
+	}
+	if st.ByClass["polite"].Throttled != 0 || st.ByClass["polite"].Shed != 0 {
+		t.Fatalf("polite client was throttled/shed: %+v", st.ByClass["polite"])
+	}
+	if st.ByClass["greedy"].Throttled == 0 {
+		t.Fatalf("greedy class shows no throttles: %+v", st.ByClass["greedy"])
+	}
+
+	// The exposition must carry the per-class admission series and agree
+	// with the controller about the greedy throttles.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sc.Sum("rumorgw_admission_throttled_total"); v <= 0 {
+		t.Fatalf("rumorgw_admission_throttled_total = %v, want > 0", v)
+	}
+	if count, err := sc.CheckHistogram("rumorgw_admission_queue_wait_seconds",
+		map[string]string{"class": "greedy"}); err != nil || count < 1 {
+		t.Fatalf("greedy queue-wait histogram count=%d err=%v, want >= 1 observation", count, err)
+	}
+}
+
+// stubBackend is an httptest backend with a scriptable readyz headroom
+// and run handler for headroom-placement tests.
+type stubBackend struct {
+	ts       *httptest.Server
+	headroom atomic.Int64
+	runs     atomic.Int64
+}
+
+func newStubBackend(t *testing.T) *stubBackend {
+	t.Helper()
+	sb := &stubBackend{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"status":"ready","queueDepth":0,"queueCapacity":8,"queueHeadroom":%d}`, sb.headroom.Load())
+	})
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		sb.runs.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(`{"ok":true}`))
+	})
+	sb.ts = httptest.NewServer(mux)
+	t.Cleanup(sb.ts.Close)
+	return sb
+}
+
+// TestHeadroomPlacementAndShed pins headroom propagation: a backend that
+// reports a full queue is deprioritized in candidate order, and when
+// every healthy backend is known-full the gateway sheds at admission
+// with a drain-derived Retry-After instead of queueing unplaceable work.
+func TestHeadroomPlacementAndShed(t *testing.T) {
+	a, b := newStubBackend(t), newStubBackend(t)
+	a.headroom.Store(0)
+	b.headroom.Store(5)
+	g := newGateway(t, Options{Backends: []string{hostPort(t, a.ts.URL), hostPort(t, b.ts.URL)}})
+
+	// Before any probe: headroom unknown (-1) everywhere, nothing sheds,
+	// candidate order is pure ring order.
+	if _, known := g.aggregateHeadroom(); known {
+		t.Fatal("aggregate headroom known before any probe")
+	}
+	g.checkAll()
+	if hr, known := g.aggregateHeadroom(); !known || hr != 5 {
+		t.Fatalf("aggregate headroom = %d known=%v, want 5 true", hr, known)
+	}
+
+	// The known-full backend must come last for every key, regardless of
+	// its ring position.
+	aAddr := g.backends[0].addr
+	for _, key := range []string{"k1", "k2", "k3", "k4", "k5"} {
+		cands, _ := g.candidates(key)
+		if len(cands) != 2 {
+			t.Fatalf("key %s: %d candidates, want 2 (full backends stay reachable)", key, len(cands))
+		}
+		if cands[0].addr == aAddr {
+			t.Fatalf("key %s: known-full backend ranked first", key)
+		}
+	}
+
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+	if code, _, body := postWithKey(t, ts.URL, "", specBody); code != http.StatusOK {
+		t.Fatalf("run with one open backend: %d (%s)", code, body)
+	}
+	if a.runs.Load() != 0 || b.runs.Load() != 1 {
+		t.Fatalf("placement ignored headroom: a=%d b=%d runs", a.runs.Load(), b.runs.Load())
+	}
+
+	// Every healthy backend known-full: shed at intake, honestly.
+	b.headroom.Store(0)
+	g.checkAll()
+	code, hdr, body := postWithKey(t, ts.URL, "", specBody)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("zero aggregate headroom answered %d (%s), want 503", code, body)
+	}
+	if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("headroom shed Retry-After = %q, want an integer >= 1", hdr.Get("Retry-After"))
+	}
+	if st := g.Admission(); st.Shed != 1 {
+		t.Fatalf("admission shed = %d, want 1", st.Shed)
+	}
+
+	// Headroom recovers → intake reopens.
+	a.headroom.Store(3)
+	g.checkAll()
+	if code, _, body := postWithKey(t, ts.URL, "", specBody); code != http.StatusOK {
+		t.Fatalf("run after recovery: %d (%s)", code, body)
+	}
+}
+
+// Test429PassThrough pins the backend-429 contract: when every attempt
+// bounces off a full backend queue the client sees the backend's own 429
+// (Retry-After preserved), and a backend that omits the hint gets one
+// injected by the gateway — never a synthetic 502, never a hintless 429.
+func Test429PassThrough(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		hdr       string // backend's Retry-After, "" for none
+		wantExact string // expected header at the client, "" for any >= 1
+	}{
+		{"backend hint preserved", "7", "7"},
+		{"missing hint injected", "", ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits atomic.Int32
+			busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if strings.HasSuffix(r.URL.Path, "/readyz") {
+					w.Write([]byte(`{"queueHeadroom":8}`))
+					return
+				}
+				hits.Add(1)
+				if tc.hdr != "" {
+					w.Header().Set("Retry-After", tc.hdr)
+				}
+				http.Error(w, `{"error":"serve: job queue full"}`, http.StatusTooManyRequests)
+			}))
+			defer busy.Close()
+			g := newGateway(t, Options{
+				Backends:    []string{hostPort(t, busy.URL)},
+				Attempts:    3,
+				BackoffBase: time.Millisecond,
+				BackoffMax:  2 * time.Millisecond,
+			})
+			ts := httptest.NewServer(g.Handler())
+			defer ts.Close()
+
+			code, hdr, body := postWithKey(t, ts.URL, "", specBody)
+			if code != http.StatusTooManyRequests {
+				t.Fatalf("status %d (%s), want the backend's 429 passed through", code, body)
+			}
+			ra := hdr.Get("Retry-After")
+			if tc.wantExact != "" && ra != tc.wantExact {
+				t.Fatalf("Retry-After = %q, want the backend's %q preserved", ra, tc.wantExact)
+			}
+			if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+				t.Fatalf("Retry-After = %q, want an integer >= 1", ra)
+			}
+			if n := hits.Load(); n != 3 {
+				t.Fatalf("backend saw %d attempts, want the full retry budget 3", n)
+			}
+			// A 429 is backpressure, not failure: the backend must still be
+			// healthy, with its headroom snapped to zero by the passive signal.
+			if !g.backends[0].healthy.Load() {
+				t.Fatal("backend ejected for answering 429")
+			}
+			if hr := g.backends[0].headroom.Load(); hr != 0 {
+				t.Fatalf("backend headroom = %d after 429, want 0 (passive signal)", hr)
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rumor/internal/admission"
 	"rumor/internal/lru"
 )
 
@@ -68,6 +69,19 @@ type Options struct {
 	// Client overrides the backend HTTP client (tests). Default: a
 	// dedicated client with a pooled transport.
 	Client *http.Client
+
+	// Quotas configures per-client admission: rate limits, concurrency
+	// quotas, and DRR weights, keyed by API key. The zero value leaves
+	// every client unlimited at weight 1 (global caps still apply).
+	Quotas admission.Config
+	// AdmissionMaxInFlight caps concurrently dispatched submissions across
+	// all clients — size it near the backends' aggregate worker count so
+	// saturation queues at the gateway, where fairness is enforced,
+	// instead of deep in backend FIFOs. Default 256.
+	AdmissionMaxInFlight int
+	// AdmissionMaxQueue caps submissions held in the fair queue; beyond it
+	// the gateway sheds with 503 + Retry-After. Default 1024.
+	AdmissionMaxQueue int
 }
 
 func (o Options) replicas() int {
@@ -166,7 +180,8 @@ type Gateway struct {
 	streamResumes atomic.Int64 // streams continued after a mid-stream failure
 	streamReruns  atomic.Int64 // resumes that had to re-create the job first
 
-	m *gwMetrics // /metrics instruments (always on; scrape-time reads)
+	m   *gwMetrics            // /metrics instruments (always on; scrape-time reads)
+	adm *admission.Controller // per-client fairness, quotas, headroom shedding
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -210,7 +225,17 @@ func New(opts Options) (*Gateway, error) {
 	for _, a := range addrs {
 		g.backends = append(g.backends, newBackend(a))
 	}
+	// Cold retry hints fall back to the health-sweep cadence until a
+	// drain rate has been observed (the clamp keeps it >= 1s).
+	g.adm = admission.NewController(admission.Options{
+		Config:        opts.Quotas,
+		MaxInFlight:   opts.AdmissionMaxInFlight,
+		MaxQueue:      opts.AdmissionMaxQueue,
+		Headroom:      g.aggregateHeadroom,
+		RetryFallback: opts.checkInterval(),
+	})
 	g.m = newGWMetrics(g)
+	g.adm.SetQueueWait(g.m.observeQueueWait)
 	if opts.checkInterval() > 0 {
 		g.checkerWG.Add(1)
 		go g.checkLoop()
@@ -241,22 +266,50 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", g.handleStream)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
-	mux.Handle("GET /metrics", g.m.reg.Handler())
+	mux.Handle("GET /metrics", g.m.scrapeHandler())
 	return mux
 }
 
-// candidates returns the healthy backends for key in failover order.
-// down reports how many ring nodes were skipped as unhealthy.
+// candidates returns the healthy backends for key in failover order,
+// stable-partitioned by headroom: backends with room (or with headroom
+// still unknown) keep their ring order up front, backends that reported
+// a full queue move to the back — still reachable, because a stale
+// "full" beats an empty candidate list, but only after everyone else
+// declined. down reports how many ring nodes were skipped as unhealthy.
 func (g *Gateway) candidates(key string) (cands []*backend, down int) {
+	var full []*backend
 	for _, node := range g.ring.sequence(key) {
 		b := g.backends[node]
-		if b.healthy.Load() {
-			cands = append(cands, b)
-		} else {
+		switch {
+		case !b.healthy.Load():
 			down++
+		case b.headroom.Load() == 0:
+			full = append(full, b)
+		default:
+			cands = append(cands, b)
 		}
 	}
-	return cands, down
+	return append(cands, full...), down
+}
+
+// aggregateHeadroom sums the queue headroom of the healthy backends.
+// The figure is known only when every healthy backend has reported one:
+// a single unknown could hide arbitrary capacity, and shedding on a
+// guess would turn a probe hiccup into client-visible 503s.
+func (g *Gateway) aggregateHeadroom() (int, bool) {
+	sum, known := 0, false
+	for _, b := range g.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		h := b.headroom.Load()
+		if h < 0 {
+			return 0, false
+		}
+		sum += int(h)
+		known = true
+	}
+	return sum, known
 }
 
 // remember stores the original request for id so a dying stream can be
@@ -281,6 +334,9 @@ type BackendHealth struct {
 	ConsecutiveFailures int    `json:"consecutiveFailures"`
 	Ejections           int64  `json:"ejections"`
 	Checks              int64  `json:"checks"`
+	// Headroom is the last queue headroom the backend reported on
+	// /v1/readyz; -1 until the first successful probe.
+	Headroom int64 `json:"headroom"`
 }
 
 // Stats is the gateway's counter snapshot, exposed on /v1/healthz and
@@ -318,22 +374,29 @@ func (g *Gateway) Backends() []BackendHealth {
 			ConsecutiveFailures: int(b.consecFail.Load()),
 			Ejections:           b.ejections.Load(),
 			Checks:              b.checks.Load(),
+			Headroom:            b.headroom.Load(),
 		})
 	}
 	return out
 }
 
+// Admission returns the admission controller's counter snapshot; the
+// conservation law holds on every call (see admission.Stats).
+func (g *Gateway) Admission() admission.Stats { return g.adm.Stats() }
+
 // healthzBody is the GET /v1/healthz response.
 type healthzBody struct {
-	Status   string          `json:"status"`
-	Stats    Stats           `json:"stats"`
-	Backends []BackendHealth `json:"backends"`
+	Status    string          `json:"status"`
+	Stats     Stats           `json:"stats"`
+	Admission admission.Stats `json:"admission"`
+	Backends  []BackendHealth `json:"backends"`
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthzBody{
-		Status:   "ok",
-		Stats:    g.Snapshot(),
-		Backends: g.Backends(),
+		Status:    "ok",
+		Stats:     g.Snapshot(),
+		Admission: g.Admission(),
+		Backends:  g.Backends(),
 	})
 }

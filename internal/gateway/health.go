@@ -2,6 +2,8 @@ package gateway
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,13 @@ type backend struct {
 	checks       atomic.Int64
 	proxyReqs    atomic.Int64 // proxy attempts sent (probes excluded)
 	proxyFails   atomic.Int64 // proxy attempts that failed (errors and 5xx)
+
+	// headroom is the backend's last-reported queue headroom (capacity
+	// minus depth, scraped from /v1/readyz), -1 while unknown. Placement
+	// prefers backends with room, and admission sheds when every healthy
+	// backend is known-full. A passive 429 snaps it to 0 immediately —
+	// the backend just told us its queue is full, no probe needed.
+	headroom atomic.Int64
 }
 
 func newBackend(addr string) *backend {
@@ -34,6 +43,7 @@ func newBackend(addr string) *backend {
 	// Born healthy: the first requests race the first probe, and retry
 	// machinery handles a dead backend better than an empty ring.
 	b.healthy.Store(true)
+	b.headroom.Store(-1)
 	return b
 }
 
@@ -107,10 +117,28 @@ func (g *Gateway) probe(b *backend) {
 		b.noteFailure(g.opts.ejectAfter())
 		return
 	}
-	drainBody(resp)
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
+		b.noteHeadroom(body)
 		b.noteSuccess(g.opts.readmitAfter())
 	} else {
 		b.noteFailure(g.opts.ejectAfter())
+	}
+}
+
+// noteHeadroom parses the queue headroom out of a readyz body. A body
+// without the field (or unparseable) leaves the last value standing —
+// absence of evidence must not flip placement or shedding decisions.
+func (b *backend) noteHeadroom(body []byte) {
+	var rs struct {
+		QueueHeadroom *int `json:"queueHeadroom"`
+	}
+	if json.Unmarshal(body, &rs) == nil && rs.QueueHeadroom != nil {
+		h := *rs.QueueHeadroom
+		if h < 0 {
+			h = 0
+		}
+		b.headroom.Store(int64(h))
 	}
 }

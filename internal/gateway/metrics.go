@@ -6,8 +6,11 @@
 package gateway
 
 import (
+	"net/http"
+	"sync"
 	"time"
 
+	"rumor/internal/admission"
 	"rumor/internal/metrics"
 )
 
@@ -19,10 +22,57 @@ var reqBuckets = metrics.ExpBuckets(0.001, 2, 21)
 // proxied endpoint.
 var gwRoutes = []string{"run", "sweep", "job", "stream"}
 
+// waitBuckets spans fair-queue waits: 1ms up to ~2min.
+var waitBuckets = metrics.ExpBuckets(0.001, 2, 18)
+
 // gwMetrics bundles the gateway's instruments.
 type gwMetrics struct {
-	reg     *metrics.Registry
-	byRoute map[string]*metrics.Histogram
+	reg       *metrics.Registry
+	byRoute   map[string]*metrics.Histogram
+	queueWait map[string]*metrics.Histogram // per admission class
+	view      *admView
+	adm       *admission.Controller
+}
+
+// admView caches one admission.Stats snapshot briefly so every
+// func-backed rumorgw_admission_* series rendered in one scrape reads
+// the SAME snapshot — the conservation law (submitted == accepted +
+// throttled + shed + canceled + queued) then holds exactly on every
+// exposition, which cmd/soak asserts per scrape.
+type admView struct {
+	mu sync.Mutex
+	at time.Time
+	st admission.Stats
+}
+
+func (v *admView) get(c *admission.Controller) admission.Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.st.ByClass == nil || time.Since(v.at) > 25*time.Millisecond {
+		v.st = c.Stats()
+		v.at = time.Now()
+	}
+	return v.st
+}
+
+// refresh forces a fresh snapshot, restarting the TTL. The /metrics
+// handler calls it before rendering so the cache never expires mid-render
+// (which would mix two snapshots in one exposition and break the law).
+func (v *admView) refresh(c *admission.Controller) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.st = c.Stats()
+	v.at = time.Now()
+}
+
+// scrapeHandler wraps the registry handler with a snapshot refresh per
+// request, pinning every admission series in one scrape to one snapshot.
+func (m *gwMetrics) scrapeHandler() http.Handler {
+	inner := m.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.view.refresh(m.adm)
+		inner.ServeHTTP(w, r)
+	})
 }
 
 // newGWMetrics builds the registry for g, pre-resolving every child
@@ -71,6 +121,8 @@ func newGWMetrics(g *Gateway) *gwMetrics {
 		"Active health probes per backend.", "backend")
 	beHealthy := reg.GaugeVec("rumorgw_backend_healthy",
 		"1 while the backend is admitted by the health checker.", "backend")
+	beHeadroom := reg.GaugeVec("rumorgw_backend_headroom",
+		"Last queue headroom the backend reported on /v1/readyz (-1 until known).", "backend")
 	for _, b := range g.backends {
 		b := b
 		beReqs.Func(func() float64 { return float64(b.proxyReqs.Load()) }, b.addr)
@@ -84,6 +136,48 @@ func newGWMetrics(g *Gateway) *gwMetrics {
 			}
 			return 0
 		}, b.addr)
+		beHeadroom.Func(func() float64 { return float64(b.headroom.Load()) }, b.addr)
+	}
+
+	// Admission series: every class pre-registered (scrapes see zeros, not
+	// absent series), every value read off one cached snapshot per scrape
+	// so the conservation law holds on each exposition.
+	view := &admView{}
+	m.view, m.adm = view, g.adm
+	snap := func() admission.Stats { return view.get(g.adm) }
+	reg.CounterFunc("rumorgw_admission_submitted_total",
+		"Submissions that entered admission (accepted + throttled + shed + canceled + queued).",
+		func() float64 { return float64(snap().Submitted) })
+	reg.CounterFunc("rumorgw_admission_canceled_total",
+		"Submissions whose client gave up while held in the fair queue.",
+		func() float64 { return float64(snap().Canceled) })
+	reg.GaugeFunc("rumorgw_admission_queue_occupancy",
+		"Submissions currently held in the fair queue.",
+		func() float64 { return float64(snap().QueueLen) })
+	reg.GaugeFunc("rumorgw_admission_inflight",
+		"Submissions currently dispatched to backends.",
+		func() float64 { return float64(snap().InFlight) })
+	reg.GaugeFunc("rumorgw_admission_clients",
+		"Distinct client identities currently tracked.",
+		func() float64 { return float64(snap().Clients) })
+	accepted := reg.CounterVec("rumorgw_admission_accepted_total",
+		"Submissions dispatched to backends, by client class.", "class")
+	throttled := reg.CounterVec("rumorgw_admission_throttled_total",
+		"Submissions bounced off their client's own quota (429), by client class.", "class")
+	shed := reg.CounterVec("rumorgw_admission_shed_total",
+		"Submissions shed at gateway-wide limits (503), by client class.", "class")
+	queuedC := reg.CounterVec("rumorgw_admission_queued_total",
+		"Submissions that waited in the fair queue at least once, by client class.", "class")
+	waits := reg.HistogramVec("rumorgw_admission_queue_wait_seconds",
+		"Fair-queue wait of admitted submissions, by client class.", waitBuckets, "class")
+	m.queueWait = make(map[string]*metrics.Histogram)
+	for _, class := range g.adm.Classes() {
+		class := class
+		accepted.Func(func() float64 { return float64(snap().ByClass[class].Accepted) }, class)
+		throttled.Func(func() float64 { return float64(snap().ByClass[class].Throttled) }, class)
+		shed.Func(func() float64 { return float64(snap().ByClass[class].Shed) }, class)
+		queuedC.Func(func() float64 { return float64(snap().ByClass[class].Queued) }, class)
+		m.queueWait[class] = waits.With(class)
 	}
 
 	seconds := reg.HistogramVec("rumorgw_request_seconds",
@@ -100,4 +194,15 @@ func newGWMetrics(g *Gateway) *gwMetrics {
 func (m *gwMetrics) timeRoute(route string) func() {
 	start := time.Now()
 	return func() { m.byRoute[route].Observe(time.Since(start).Seconds()) }
+}
+
+// observeQueueWait is the admission controller's queue-wait hook. An
+// unknown class (impossible while resolve only yields configured
+// classes) degrades to the default series rather than dropping data.
+func (m *gwMetrics) observeQueueWait(class string, seconds float64) {
+	h := m.queueWait[class]
+	if h == nil {
+		h = m.queueWait[admission.DefaultClass]
+	}
+	h.Observe(seconds)
 }

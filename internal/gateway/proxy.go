@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"rumor/internal/admission"
 	"rumor/internal/experiment"
 	"rumor/internal/serve"
 )
@@ -97,7 +98,7 @@ type proxyPolicy struct {
 // nil with the last error once attempts are exhausted.
 func (g *Gateway) attemptProxy(ctx context.Context, cands []*backend, method, path, rawQuery string, body []byte, pol proxyPolicy) (*bufferedResponse, error) {
 	var lastErr error
-	var last404 *bufferedResponse
+	var last404, last429 *bufferedResponse
 	misses := 0
 	retriesUsed := 0
 	var prev *backend
@@ -128,7 +129,14 @@ func (g *Gateway) attemptProxy(ctx context.Context, cands []*backend, method, pa
 			misses++
 			continue // no backoff, no attempt burned: keep walking the ring
 		case retryable(resp.status):
-			if resp.status != http.StatusTooManyRequests {
+			if resp.status == http.StatusTooManyRequests {
+				// The backend just declared its queue full: zero its headroom
+				// now instead of waiting for the next probe, and keep the
+				// response — if every attempt 429s, the client should see the
+				// backend's honest 429, not a synthetic 502.
+				b.headroom.Store(0)
+				last429 = resp
+			} else {
 				b.noteFailure(g.opts.ejectAfter())
 			}
 			lastErr = fmt.Errorf("backend %s answered %d", b.addr, resp.status)
@@ -144,6 +152,9 @@ func (g *Gateway) attemptProxy(ctx context.Context, cands []*backend, method, pa
 		if !sleep(ctx, g.backoff(retriesUsed-1)) {
 			return nil, ctx.Err()
 		}
+	}
+	if last429 != nil {
+		return last429, nil // every retry bounced off a full queue: pass it through
 	}
 	if lastErr == nil && last404 != nil {
 		return last404, nil
@@ -185,14 +196,46 @@ func (g *Gateway) once(ctx context.Context, b *backend, method, path, rawQuery s
 	return &bufferedResponse{status: resp.StatusCode, header: resp.Header.Clone(), body: payload, backend: b.addr}, nil
 }
 
-// shedRetryAfter is the Retry-After value for load-shed 503s: the next
-// health sweep is the earliest anything can change.
-func (g *Gateway) shedRetryAfter() string {
-	secs := int((g.opts.checkInterval() + time.Second - 1) / time.Second)
+// retryAfterSecs renders a wait hint as a Retry-After header value in
+// whole seconds, rounded up, never below 1.
+func retryAfterSecs(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// shedRetryAfter is the Retry-After value for load-shed 503s: derived
+// from the admission controller's observed drain rate (how long the
+// work ahead of a new arrival needs to clear), falling back to the
+// health-sweep cadence before any drain has been seen.
+func (g *Gateway) shedRetryAfter() string {
+	return retryAfterSecs(g.adm.RetryAfter())
+}
+
+// admit runs one submission through the admission controller. When the
+// request may proceed it returns its release closure and true; otherwise
+// it has already written the throttle/shed response (or nothing, for a
+// client that gave up while queued) and returns false.
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	dec := g.adm.Acquire(r.Context(), r.Header.Get(admission.KeyHeader), r.RemoteAddr)
+	switch dec.Outcome {
+	case admission.Throttled:
+		w.Header().Set("Retry-After", retryAfterSecs(dec.RetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			"client %s over its %s quota; retry after the indicated wait", dec.Class, dec.Reason)
+		return nil, false
+	case admission.Shed:
+		w.Header().Set("Retry-After", retryAfterSecs(dec.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable,
+			"gateway saturated (%s); retry after the indicated wait", dec.Reason)
+		return nil, false
+	case admission.Canceled:
+		// The client hung up while fair-queued; nothing to write.
+		return nil, false
+	}
+	return dec.Release, true
 }
 
 // proxyBuffered routes one buffered request keyed by key: candidate
@@ -213,6 +256,11 @@ func (g *Gateway) proxyBuffered(w http.ResponseWriter, r *http.Request, key, pat
 		writeError(w, http.StatusBadGateway,
 			"no backend could serve the request after %d attempts: %v", pol.attempts, err)
 		return
+	}
+	if resp.status == http.StatusTooManyRequests && resp.header.Get("Retry-After") == "" {
+		// Backstop for backends that 429 without a hint: the gateway's
+		// drain estimate is the best honesty available.
+		resp.header.Set("Retry-After", g.shedRetryAfter())
 	}
 	replay(w, resp)
 }
@@ -277,6 +325,11 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := serve.JobID(norm)
+	release, ok := g.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	g.remember(id, "/v1/run", body)
 	g.proxyBuffered(w, r, id, "/v1/run", body, proxyPolicy{attempts: g.opts.attempts()})
 }
@@ -305,6 +358,11 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := serve.SweepJobID(points)
+	release, ok := g.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	g.remember(id, "/v1/sweep", body)
 	g.proxyBuffered(w, r, id, "/v1/sweep", body, proxyPolicy{attempts: g.opts.attempts()})
 }

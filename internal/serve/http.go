@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"rumor/internal/experiment"
 )
@@ -122,6 +123,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusInternalServerError {
 			s.m.countInternalError()
 		}
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
 		writeError(w, status, "%v", err)
 		return
 	}
@@ -220,6 +224,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		status := submitStatus(err)
 		if status == http.StatusInternalServerError {
 			s.m.countInternalError()
+		}
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)

@@ -186,6 +186,11 @@ type Server struct {
 	// Options.DisableMetrics.
 	m *serveMetrics
 
+	// drain tracks recent job completions so queue-full 429s can carry an
+	// honest Retry-After derived from the observed drain rate.
+	drainMu sync.Mutex
+	drain   completionRing
+
 	// testRunGate, when set (tests only), runs at the top of each
 	// simulation; blocking it holds jobs in the running state so tests can
 	// overlap requests deterministically. Guarded by lifecycle.
@@ -414,6 +419,85 @@ func (s *Server) finish(j *Job, resp []byte, err error) {
 		c.errMsg = err.Error()
 	}
 	s.store.complete(j.ID, c)
+	s.drainMu.Lock()
+	s.drain.note(time.Now())
+	s.drainMu.Unlock()
+}
+
+// completionRing holds recent completion timestamps; rate() reads the
+// drain rate off them. Guarded by Server.drainMu.
+type completionRing struct {
+	times  [256]time.Time
+	idx    int
+	filled bool
+}
+
+func (r *completionRing) note(t time.Time) {
+	r.times[r.idx] = t
+	r.idx++
+	if r.idx == len(r.times) {
+		r.idx = 0
+		r.filled = true
+	}
+}
+
+// rate returns completions per second over the trailing window. When the
+// ring wrapped inside the window the rate is computed over the span it
+// actually covers, so a fast burst is not underestimated.
+func (r *completionRing) rate(now time.Time, window time.Duration) float64 {
+	cutoff := now.Add(-window)
+	n := r.idx
+	if r.filled {
+		n = len(r.times)
+	}
+	count := 0
+	oldest := now
+	for i := 0; i < n; i++ {
+		t := r.times[i]
+		if t.After(cutoff) {
+			count++
+			if t.Before(oldest) {
+				oldest = t
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	span := window
+	if r.filled || count == len(r.times) {
+		if s := now.Sub(oldest); s > 0 && s < span {
+			span = s
+		}
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(count) / span.Seconds()
+}
+
+// retryAfterSeconds derives the Retry-After for a queue-full 429: the
+// whole seconds the observed drain rate needs to clear the work already
+// queued and running ahead of a retry, clamped to [1s, 60s]. Before any
+// completion has been observed it answers 2 — long enough to matter,
+// short enough to recover quickly from a cold start.
+func (s *Server) retryAfterSeconds() int {
+	depth, _ := s.QueueDepth()
+	pending := depth + int(s.runningJobs.Load())
+	s.drainMu.Lock()
+	rate := s.drain.rate(time.Now(), 10*time.Second)
+	s.drainMu.Unlock()
+	if rate <= 0 {
+		return 2
+	}
+	secs := int(float64(pending+1)/rate + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // Shutdown stops intake (submissions return ErrDraining → 503) and waits
